@@ -1,0 +1,63 @@
+//! Figure 5 workload benchmark: the per-instance attack runs whose times form
+//! the cactus plots (circuit analyses vs the SAT attack).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fall::attack::{fall_attack, FallAttackConfig};
+use fall::functional::Analysis;
+use fall::oracle::SimOracle;
+use fall::sat_attack::{sat_attack, SatAttackConfig};
+use fall_bench::{HdPolicy, LockCase, Scale, TABLE1_CIRCUITS};
+use locking::{LockingScheme, XorLock};
+use netlist::random::{generate, RandomCircuitSpec};
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_fig5");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    // FALL circuit analyses on the first Table I circuit at each Hamming
+    // distance policy (the points of the four panels).
+    let spec = &TABLE1_CIRCUITS[0];
+    for policy in HdPolicy::all() {
+        let case = LockCase::build(spec, policy, Scale::Scaled);
+        let analysis = if case.h == 0 {
+            Analysis::Unateness
+        } else if 4 * case.h <= case.keys {
+            Analysis::Distance2H
+        } else {
+            Analysis::SlidingWindow
+        };
+        let mut config = FallAttackConfig::for_h(case.h);
+        config.analyses = Some(vec![analysis]);
+        group.bench_with_input(
+            BenchmarkId::new("fall_attack", format!("{}_h{}", spec.name, case.h)),
+            &case,
+            |b, case| b.iter(|| fall_attack(&case.locked.locked, None, &config)),
+        );
+    }
+
+    // The SAT attack baseline: fast on random XOR locking, slow on SFLL —
+    // benchmark the tractable case and a deliberately tiny SFLL key.
+    let original = generate(&RandomCircuitSpec::new("fig5_xor", 12, 3, 120));
+    let xor_locked = XorLock::new(10).with_seed(1).lock(&original).expect("lock");
+    let oracle = SimOracle::new(original.clone());
+    group.bench_function("sat_attack_xor_lock_10_keys", |b| {
+        b.iter(|| sat_attack(&xor_locked.locked, &oracle, &SatAttackConfig::default()))
+    });
+
+    let sfll_small = locking::SfllHd::new(6, 0)
+        .with_seed(2)
+        .lock(&original)
+        .expect("lock");
+    group.bench_function("sat_attack_sfll_hd0_6_keys", |b| {
+        b.iter(|| sat_attack(&sfll_small.locked, &oracle, &SatAttackConfig::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 6 workload benchmark: key confirmation (seeded with a shortlist)
+//! versus the plain SAT attack on the same locked instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fall::key_confirmation::{key_confirmation, KeyConfirmationConfig};
+use fall::oracle::SimOracle;
+use fall::sat_attack::{sat_attack, SatAttackConfig};
+use locking::{LockingScheme, SfllHd};
+use netlist::random::{generate, RandomCircuitSpec};
+use std::time::Duration;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_fig6");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let original = generate(&RandomCircuitSpec::new("fig6", 14, 3, 150));
+    let locked = SfllHd::new(8, 1)
+        .with_seed(5)
+        .lock(&original)
+        .expect("lock")
+        .optimized();
+    let oracle = SimOracle::new(original);
+    let shortlist = vec![locked.key.clone(), locked.key.complement()];
+
+    group.bench_function("key_confirmation_sfll_hd1_8_keys", |b| {
+        b.iter(|| {
+            key_confirmation(
+                &locked.locked,
+                &oracle,
+                &shortlist,
+                &KeyConfirmationConfig::default(),
+            )
+        })
+    });
+
+    group.bench_function("sat_attack_sfll_hd1_8_keys", |b| {
+        b.iter(|| sat_attack(&locked.locked, &oracle, &SatAttackConfig::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

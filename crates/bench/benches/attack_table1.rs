@@ -1,0 +1,31 @@
+//! Table I workload benchmark: generating, locking and structurally hashing
+//! one benchmark circuit under all four Hamming-distance policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fall_bench::{table1_rows, HdPolicy, LockCase, Scale, TABLE1_CIRCUITS};
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_table1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    // One row of Table I = lock one circuit with all four policies and count
+    // gates after structural hashing.
+    for spec in &TABLE1_CIRCUITS[..3] {
+        group.bench_with_input(BenchmarkId::new("table1_row", spec.name), spec, |b, spec| {
+            b.iter(|| table1_rows(std::slice::from_ref(spec), Scale::Scaled))
+        });
+    }
+
+    group.bench_function("lock_case_build_hd_quarter", |b| {
+        b.iter(|| LockCase::build(&TABLE1_CIRCUITS[3], HdPolicy::QuarterOfKeys, Scale::Scaled))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

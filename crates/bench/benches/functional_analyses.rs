@@ -1,0 +1,62 @@
+//! Benchmarks of the functional analyses (§ IV) on cube-stripping nodes,
+//! including the SlidingWindow-vs-Distance2H ablation as `h` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fall::equivalence::candidate_equals_strip;
+use fall::functional::{analyze_unateness, distance_2h, sliding_window, CubeAssignment};
+use netlist::hamming::hamming_distance_equals_const;
+use netlist::sim::pattern_to_bits;
+use netlist::strash::strash;
+use netlist::{Netlist, NodeId};
+use std::time::Duration;
+
+/// Builds a strashed cube-stripping circuit strip_h(cube) over `m` inputs.
+fn stripper(m: usize, cube: u64, h: usize) -> (Netlist, NodeId, CubeAssignment) {
+    let mut nl = Netlist::new("bench_strip");
+    let xs: Vec<NodeId> = (0..m).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let cube_bits = pattern_to_bits(cube, m);
+    let out = hamming_distance_equals_const(&mut nl, &xs, &cube_bits, h);
+    nl.add_output("strip", out);
+    let optimized = strash(&nl);
+    let root = optimized.outputs()[0].1;
+    let assignment: CubeAssignment = optimized
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, (cube >> i) & 1 == 1))
+        .collect();
+    (optimized, root, assignment)
+}
+
+fn bench_functional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_analyses");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let (nl0, root0, _) = stripper(16, 0xA53C, 0);
+    group.bench_function("analyze_unateness_m16", |b| {
+        b.iter(|| analyze_unateness(&nl0, root0).expect("cube"))
+    });
+
+    for h in [1usize, 2, 4] {
+        let (nl, root, _) = stripper(16, 0x5AC3, h);
+        group.bench_with_input(BenchmarkId::new("sliding_window_m16", h), &h, |b, &h| {
+            b.iter(|| sliding_window(&nl, root, h).expect("cube"))
+        });
+        group.bench_with_input(BenchmarkId::new("distance_2h_m16", h), &h, |b, &h| {
+            b.iter(|| distance_2h(&nl, root, h).expect("cube"))
+        });
+    }
+
+    let (nl, root, cube) = stripper(16, 0x1234, 2);
+    group.bench_function("equivalence_check_m16_h2", |b| {
+        b.iter(|| assert!(candidate_equals_strip(&nl, root, &cube, 2)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional);
+criterion_main!(benches);

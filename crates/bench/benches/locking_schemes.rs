@@ -1,0 +1,41 @@
+//! Benchmarks of the locking schemes themselves (lock + structural hash),
+//! the workload behind the Table I gate counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locking::{AntiSat, LockingScheme, SarLock, SfllHd, TtLock, XorLock};
+use netlist::random::{generate, RandomCircuitSpec};
+use std::time::Duration;
+
+fn bench_locking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locking_schemes");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let original = generate(&RandomCircuitSpec::new("lock_bench", 32, 8, 500));
+
+    group.bench_function("ttlock_16_keys", |b| {
+        b.iter(|| TtLock::new(16).lock(&original).expect("lock").optimized())
+    });
+    group.bench_function("sfll_hd2_16_keys", |b| {
+        b.iter(|| SfllHd::new(16, 2).lock(&original).expect("lock").optimized())
+    });
+    group.bench_function("sfll_hd8_32_keys", |b| {
+        b.iter(|| SfllHd::new(32, 8).lock(&original).expect("lock").optimized())
+    });
+    group.bench_function("sarlock_16_keys", |b| {
+        b.iter(|| SarLock::new(16).lock(&original).expect("lock").optimized())
+    });
+    group.bench_function("antisat_2x16_keys", |b| {
+        b.iter(|| AntiSat::new(16).lock(&original).expect("lock").optimized())
+    });
+    group.bench_function("xor_lock_32_keys", |b| {
+        b.iter(|| XorLock::new(32).lock(&original).expect("lock").optimized())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_locking);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmarks for the netlist substrate: generation, structural
+//! hashing, simulation and CNF encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netlist::cnf::{encode, PinBinding};
+use netlist::random::{generate, RandomCircuitSpec};
+use netlist::strash::strash;
+use sat::Solver;
+use std::time::Duration;
+
+fn bench_netlist_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_ops");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let spec = RandomCircuitSpec::new("bench_mid", 32, 8, 800);
+    let circuit = generate(&spec);
+
+    group.bench_function("generate_800_gates", |b| b.iter(|| generate(&spec)));
+
+    group.bench_function("strash_800_gates", |b| b.iter(|| strash(&circuit)));
+
+    let inputs = vec![0xDEAD_BEEF_F00D_1234u64; 32];
+    group.bench_function("simulate_64_patterns", |b| {
+        b.iter(|| circuit.evaluate_words(&inputs, &[]).expect("widths match"))
+    });
+
+    group.bench_function("tseitin_encode", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            encode(&circuit, &mut solver, &PinBinding::default())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_netlist_ops);
+criterion_main!(benches);

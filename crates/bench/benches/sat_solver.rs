@@ -1,0 +1,75 @@
+//! Micro-benchmarks for the CDCL SAT solver substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sat::{Lit, Solver, Var};
+use std::time::Duration;
+
+/// Random 3-SAT at a satisfiable clause/variable ratio.
+fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Vec<Vec<Lit>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    Lit::new(
+                        Var::from_index(rng.gen_range(0..num_vars)),
+                        rng.gen::<bool>(),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn pigeonhole(n: usize) -> (usize, Vec<Vec<Lit>>) {
+    let holes = n - 1;
+    let v = |i: usize, j: usize| Lit::positive(Var::from_index(i * holes + j));
+    let mut clauses = Vec::new();
+    for i in 0..n {
+        clauses.push((0..holes).map(|j| v(i, j)).collect());
+    }
+    for j in 0..holes {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                clauses.push(vec![!v(i1, j), !v(i2, j)]);
+            }
+        }
+    }
+    (n * holes, clauses)
+}
+
+fn solve(num_vars: usize, clauses: &[Vec<Lit>]) -> sat::SolveResult {
+    let mut solver = Solver::new();
+    solver.ensure_vars(num_vars);
+    for clause in clauses {
+        solver.add_clause(clause.iter().copied());
+    }
+    solver.solve()
+}
+
+fn bench_sat_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solver");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let easy = random_3sat(150, 450, 1);
+    group.bench_function("random_3sat_150v_450c", |b| b.iter(|| solve(150, &easy)));
+
+    let hard = random_3sat(100, 420, 2);
+    group.bench_function("random_3sat_100v_phase_transition", |b| {
+        b.iter(|| solve(100, &hard))
+    });
+
+    let (vars, php) = pigeonhole(7);
+    group.bench_function("pigeonhole_7_unsat", |b| b.iter(|| solve(vars, &php)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat_solver);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Equivalence checking (§ IV-C).
+//!
+//! Lemmas 1–3 give *necessary* conditions only; a candidate that produced a
+//! suspected cube must still be checked against the actual cube stripping
+//! function `strip_h(Kc)`.  This module builds the reference function over
+//! the same inputs and proves (un)equivalence with a miter and one SAT call.
+
+use netlist::analysis::support;
+use netlist::cnf::{encode_cones, PinBinding};
+use netlist::{Netlist, NodeId};
+use sat::{Lit, SolveResult, Solver};
+
+use crate::functional::{popcount_equals_lit, xor2_lit, CubeAssignment};
+
+/// Checks whether the candidate node computes exactly
+/// `strip_h(Kc)(X) = (HD(X, Kc) == h)` for the suspected cube `Kc`.
+///
+/// Returns `true` iff the two functions are equivalent for *all* inputs (the
+/// miter is unsatisfiable).  Returns `false` when the candidate depends on
+/// key inputs or the cube does not cover its support.
+pub fn candidate_equals_strip(
+    netlist: &Netlist,
+    candidate: NodeId,
+    cube: &CubeAssignment,
+    h: usize,
+) -> bool {
+    let sup = support(netlist, candidate);
+    if !sup.keys.is_empty() || sup.primary.is_empty() {
+        return false;
+    }
+    let inputs: Vec<NodeId> = sup.primary.iter().copied().collect();
+    // The cube must assign every support input (order-insensitive lookup).
+    let cube_value = |id: NodeId| cube.iter().find(|&&(cid, _)| cid == id).map(|&(_, v)| v);
+    if inputs.iter().any(|&id| cube_value(id).is_none()) {
+        return false;
+    }
+    if h > inputs.len() {
+        return false;
+    }
+
+    let mut solver = Solver::new();
+    let enc = encode_cones(netlist, &mut solver, &[candidate], &PinBinding::default());
+    let candidate_lit = enc.lit(candidate);
+
+    // Reference strip function over the same input literals: the difference
+    // bit for input i is x_i when Kc_i = 0 and !x_i when Kc_i = 1.
+    let diffs: Vec<Lit> = inputs
+        .iter()
+        .map(|&id| {
+            let position = netlist
+                .inputs()
+                .iter()
+                .position(|&x| x == id)
+                .expect("support input is a primary input");
+            let lit = enc.inputs[position];
+            if cube_value(id).expect("checked above") {
+                !lit
+            } else {
+                lit
+            }
+        })
+        .collect();
+    let reference_lit = popcount_equals_lit(&mut solver, &diffs, h);
+
+    let miter = xor2_lit(&mut solver, candidate_lit, reference_lit);
+    solver.solve_with(&[miter]) == SolveResult::Unsat
+}
+
+/// Filters a list of `(candidate, suspected cube)` pairs down to those whose
+/// candidate is provably the strip function for that cube.
+pub fn filter_by_equivalence(
+    netlist: &Netlist,
+    suspects: &[(NodeId, CubeAssignment)],
+    h: usize,
+) -> Vec<(NodeId, CubeAssignment)> {
+    suspects
+        .iter()
+        .filter(|(candidate, cube)| candidate_equals_strip(netlist, *candidate, cube, h))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::hamming::hamming_distance_equals_const;
+    use netlist::sim::pattern_to_bits;
+    use netlist::strash::strash;
+    use netlist::GateKind;
+
+    fn stripper(m: usize, cube: u64, h: usize) -> (Netlist, NodeId, Vec<NodeId>) {
+        let mut nl = Netlist::new("strip");
+        let xs: Vec<NodeId> = (0..m).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let cube_bits = pattern_to_bits(cube, m);
+        let out = hamming_distance_equals_const(&mut nl, &xs, &cube_bits, h);
+        nl.add_output("strip", out);
+        (nl, out, xs)
+    }
+
+    fn assignment(xs: &[NodeId], cube: u64) -> CubeAssignment {
+        xs.iter()
+            .enumerate()
+            .map(|(i, &id)| (id, (cube >> i) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn accepts_the_true_cube_and_rejects_others() {
+        let (nl, out, xs) = stripper(6, 0b101100, 1);
+        assert!(candidate_equals_strip(&nl, out, &assignment(&xs, 0b101100), 1));
+        assert!(!candidate_equals_strip(&nl, out, &assignment(&xs, 0b101101), 1));
+        assert!(!candidate_equals_strip(&nl, out, &assignment(&xs, 0b101100), 2));
+    }
+
+    #[test]
+    fn works_after_strash() {
+        let (nl, _, _) = stripper(6, 0b010011, 2);
+        let optimized = strash(&nl);
+        let out = optimized.outputs()[0].1;
+        let xs: Vec<NodeId> = optimized.inputs().to_vec();
+        assert!(candidate_equals_strip(&optimized, out, &assignment(&xs, 0b010011), 2));
+        assert!(!candidate_equals_strip(&optimized, out, &assignment(&xs, 0b110011), 2));
+    }
+
+    #[test]
+    fn rejects_nodes_that_are_not_strip_functions() {
+        let mut nl = Netlist::new("not_strip");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate("g", GateKind::Or, &[a, b]);
+        nl.add_output("g", g);
+        let cube = vec![(a, true), (b, false)];
+        assert!(!candidate_equals_strip(&nl, g, &cube, 0));
+    }
+
+    #[test]
+    fn incomplete_cubes_are_rejected() {
+        let (nl, out, xs) = stripper(4, 0b1010, 1);
+        let partial = vec![(xs[0], false)];
+        assert!(!candidate_equals_strip(&nl, out, &partial, 1));
+    }
+
+    #[test]
+    fn filter_keeps_only_equivalent_pairs() {
+        let (nl, out, xs) = stripper(5, 0b11001, 1);
+        let good = (out, assignment(&xs, 0b11001));
+        let bad = (out, assignment(&xs, 0b00110));
+        let kept = filter_by_equivalence(&nl, &[good.clone(), bad], 1);
+        assert_eq!(kept, vec![good]);
+    }
+}

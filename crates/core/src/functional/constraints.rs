@@ -1,0 +1,174 @@
+//! CNF-level cardinality helpers used by the Hamming-distance analyses.
+
+use sat::{Lit, Solver};
+
+/// Returns a fresh literal equivalent to `a XOR b`.
+pub fn xor2_lit(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    let y = Lit::positive(solver.new_var());
+    solver.add_clause([!a, !b, !y]);
+    solver.add_clause([a, b, !y]);
+    solver.add_clause([a, !b, y]);
+    solver.add_clause([!a, b, y]);
+    y
+}
+
+/// Returns a fresh literal equivalent to `a AND b`.
+pub fn and2_lit(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    let y = Lit::positive(solver.new_var());
+    solver.add_clause([!y, a]);
+    solver.add_clause([!y, b]);
+    solver.add_clause([!a, !b, y]);
+    y
+}
+
+/// Returns a fresh literal equivalent to `a == b` (XNOR).
+pub fn equal_lit(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    !xor2_lit(solver, a, b)
+}
+
+/// Returns a literal that is constantly false.
+pub fn const_false_lit(solver: &mut Solver) -> Lit {
+    let lit = Lit::positive(solver.new_var());
+    solver.add_clause([!lit]);
+    lit
+}
+
+/// Builds a binary counter over `bits` and returns the sum literals,
+/// least-significant first.
+pub fn popcount_lits(solver: &mut Solver, bits: &[Lit]) -> Vec<Lit> {
+    let width = (usize::BITS as usize - bits.len().leading_zeros() as usize).max(1);
+    let zero = const_false_lit(solver);
+    let mut sum = vec![zero; width];
+    for &bit in bits {
+        let mut carry = bit;
+        for s in sum.iter_mut() {
+            let new_s = xor2_lit(solver, *s, carry);
+            let new_c = and2_lit(solver, *s, carry);
+            *s = new_s;
+            carry = new_c;
+        }
+    }
+    sum
+}
+
+/// Adds clauses forcing the popcount of `bits` to equal `value`.
+///
+/// # Panics
+///
+/// Panics if `value > bits.len()` (the constraint would be trivially
+/// unsatisfiable, which almost always indicates a caller bug).
+pub fn require_popcount_equals(solver: &mut Solver, bits: &[Lit], value: usize) {
+    assert!(
+        value <= bits.len(),
+        "cannot have {value} ones among {} bits",
+        bits.len()
+    );
+    let sum = popcount_lits(solver, bits);
+    for (i, &s) in sum.iter().enumerate() {
+        let bit = (value >> i) & 1 == 1;
+        solver.add_clause([if bit { s } else { !s }]);
+    }
+}
+
+/// Returns a literal that is true iff the popcount of `bits` equals `value`.
+pub fn popcount_equals_lit(solver: &mut Solver, bits: &[Lit], value: usize) -> Lit {
+    if value > bits.len() {
+        return const_false_lit(solver);
+    }
+    let sum = popcount_lits(solver, bits);
+    // AND over per-bit agreement with the constant.
+    let mut acc: Option<Lit> = None;
+    for (i, &s) in sum.iter().enumerate() {
+        let bit = (value >> i) & 1 == 1;
+        let term = if bit { s } else { !s };
+        acc = Some(match acc {
+            None => term,
+            Some(prev) => and2_lit(solver, prev, term),
+        });
+    }
+    acc.unwrap_or_else(|| !const_false_lit(solver))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat::SolveResult;
+
+    fn fresh_bits(solver: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::positive(solver.new_var())).collect()
+    }
+
+    fn force(solver: &mut Solver, lits: &[Lit], pattern: u64) {
+        for (i, &lit) in lits.iter().enumerate() {
+            let bit = (pattern >> i) & 1 == 1;
+            solver.add_clause([if bit { lit } else { !lit }]);
+        }
+    }
+
+    #[test]
+    fn popcount_counts_correctly() {
+        for pattern in 0..32u64 {
+            let mut solver = Solver::new();
+            let bits = fresh_bits(&mut solver, 5);
+            let sum = popcount_lits(&mut solver, &bits);
+            force(&mut solver, &bits, pattern);
+            assert_eq!(solver.solve(), SolveResult::Sat);
+            let got: u32 = sum
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (solver.value(s).unwrap() as u32) << i)
+                .sum();
+            assert_eq!(got, pattern.count_ones());
+        }
+    }
+
+    #[test]
+    fn require_popcount_filters_models() {
+        let mut solver = Solver::new();
+        let bits = fresh_bits(&mut solver, 6);
+        require_popcount_equals(&mut solver, &bits, 2);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        let ones = bits.iter().filter(|&&b| solver.value(b).unwrap()).count();
+        assert_eq!(ones, 2);
+        // Forcing three bits true makes it unsatisfiable.
+        solver.add_clause([bits[0]]);
+        solver.add_clause([bits[1]]);
+        solver.add_clause([bits[2]]);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn popcount_equals_lit_is_reified() {
+        for target in 0..=4usize {
+            for pattern in 0..16u64 {
+                let mut solver = Solver::new();
+                let bits = fresh_bits(&mut solver, 4);
+                let eq = popcount_equals_lit(&mut solver, &bits, target);
+                force(&mut solver, &bits, pattern);
+                assert_eq!(solver.solve(), SolveResult::Sat);
+                assert_eq!(
+                    solver.value(eq),
+                    Some(pattern.count_ones() as usize == target),
+                    "target {target} pattern {pattern:04b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_count_is_const_false() {
+        let mut solver = Solver::new();
+        let bits = fresh_bits(&mut solver, 3);
+        let eq = popcount_equals_lit(&mut solver, &bits, 7);
+        solver.add_clause([eq]);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot have")]
+    fn require_impossible_count_panics() {
+        let mut solver = Solver::new();
+        let bits = fresh_bits(&mut solver, 3);
+        require_popcount_equals(&mut solver, &bits, 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! Distance2H (Algorithm 3, Lemma 2): attack on SFLL-HDh for `4h <= m`.
+//!
+//! Like SlidingWindow, this finds two satisfying assignments of the candidate
+//! at Hamming distance `2h`; agreeing positions reveal key bits.  The
+//! remaining bits are obtained with a *single* additional SAT query that asks
+//! for another distance-`2h` pair that agrees on all previously disagreeing
+//! positions, instead of one query per bit.
+
+use std::collections::BTreeMap;
+
+use netlist::{Netlist, NodeId};
+use sat::{Lit, SolveResult};
+
+use super::pair::build_hd_pair;
+use super::CubeAssignment;
+
+/// Runs the Distance2H analysis on a candidate node.
+///
+/// `h` is the SFLL-HD parameter.  The analysis is complete only when
+/// `4h <= m` (otherwise the second query may be unsatisfiable for the real
+/// stripper as well); callers should consult
+/// [`super::Analysis::applicable`].
+pub fn distance_2h(netlist: &Netlist, candidate: NodeId, h: usize) -> Option<CubeAssignment> {
+    let mut pair = build_hd_pair(netlist, candidate, 2 * h)?;
+    if pair.solver.solve() != SolveResult::Sat {
+        return None;
+    }
+    let m1: Vec<bool> = pair
+        .x1
+        .iter()
+        .map(|&l| pair.solver.value(l).expect("model"))
+        .collect();
+    let m2: Vec<bool> = pair
+        .x2
+        .iter()
+        .map(|&l| pair.solver.value(l).expect("model"))
+        .collect();
+
+    let mut keys: BTreeMap<NodeId, bool> = BTreeMap::new();
+    let mut disagreeing: Vec<usize> = Vec::new();
+    for i in 0..pair.inputs.len() {
+        if m1[i] == m2[i] {
+            keys.insert(pair.inputs[i], m1[i]);
+        } else {
+            disagreeing.push(i);
+        }
+    }
+
+    if !disagreeing.is_empty() {
+        // Second query: force all previously disagreeing positions to agree.
+        let assumptions: Vec<Lit> = disagreeing.iter().map(|&i| pair.eq[i]).collect();
+        if pair.solver.solve_with(&assumptions) != SolveResult::Sat {
+            return None;
+        }
+        for i in 0..pair.inputs.len() {
+            let v1 = pair.solver.value(pair.x1[i]).expect("model");
+            let v2 = pair.solver.value(pair.x2[i]).expect("model");
+            if v1 == v2 {
+                keys.entry(pair.inputs[i]).or_insert(v1);
+            }
+        }
+    }
+
+    if keys.len() != pair.inputs.len() {
+        return None;
+    }
+    Some(keys.into_iter().collect())
+}
+
+/// Convenience wrapper running [`distance_2h`] on several candidates.
+pub fn distance_2h_all(
+    netlist: &Netlist,
+    candidates: &[NodeId],
+    h: usize,
+) -> Vec<(NodeId, Option<CubeAssignment>)> {
+    candidates
+        .iter()
+        .map(|&c| (c, distance_2h(netlist, c, h)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::hamming::hamming_distance_equals_const;
+    use netlist::sim::pattern_to_bits;
+    use netlist::strash::strash;
+    use netlist::{GateKind, Netlist};
+
+    fn stripper(m: usize, cube: u64, h: usize) -> (Netlist, NodeId, Vec<NodeId>) {
+        let mut nl = Netlist::new("strip");
+        let xs: Vec<NodeId> = (0..m).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let cube_bits = pattern_to_bits(cube, m);
+        let out = hamming_distance_equals_const(&mut nl, &xs, &cube_bits, h);
+        nl.add_output("strip", out);
+        (nl, out, xs)
+    }
+
+    fn expected(xs: &[NodeId], cube: u64) -> CubeAssignment {
+        xs.iter()
+            .enumerate()
+            .map(|(i, &id)| (id, (cube >> i) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_cube_when_4h_le_m() {
+        for (m, cube, h) in [
+            (8usize, 0b1011_0101u64, 1usize),
+            (8, 0b0110_1100, 2),
+            (12, 0xABC, 3),
+        ] {
+            let (nl, out, xs) = stripper(m, cube, h);
+            let got = distance_2h(&nl, out, h).expect("cube recovered");
+            assert_eq!(got, expected(&xs, cube), "m={m} cube={cube:b} h={h}");
+        }
+    }
+
+    #[test]
+    fn recovers_cube_after_strash() {
+        let (nl, _, _) = stripper(8, 0b1100_1010, 2);
+        let optimized = strash(&nl);
+        let out = optimized.outputs()[0].1;
+        let got = distance_2h(&optimized, out, 2).expect("cube recovered");
+        let values: Vec<bool> = got.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, pattern_to_bits(0b1100_1010, 8));
+    }
+
+    #[test]
+    fn agrees_with_sliding_window_on_the_stripper() {
+        let (nl, out, _) = stripper(10, 0b10_1101_0011, 2);
+        let a = distance_2h(&nl, out, 2).expect("distance2h");
+        let b = super::super::sliding_window(&nl, out, 2).expect("sliding window");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_false_candidate_is_rejected() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let na = nl.add_gate("na", GateKind::Not, &[a]);
+        let f = nl.add_gate("f", GateKind::And, &[a, na]);
+        nl.add_output("f", f);
+        assert!(distance_2h(&nl, f, 1).is_none());
+    }
+
+    #[test]
+    fn h_zero_returns_the_unique_satisfying_cube() {
+        let (nl, out, xs) = stripper(6, 0b011010, 0);
+        let got = distance_2h(&nl, out, 0).expect("cube recovered");
+        assert_eq!(got, expected(&xs, 0b011010));
+    }
+
+    #[test]
+    fn batch_helper_reports_per_candidate() {
+        let (nl, out, _) = stripper(8, 0b00101100, 1);
+        let results = distance_2h_all(&nl, &[out], 1);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_some());
+    }
+}

@@ -1,0 +1,80 @@
+//! Shared machinery for the Hamming-distance analyses: a solver preloaded
+//! with two copies of a candidate cone constrained to be simultaneously true
+//! at a fixed Hamming distance.
+
+use netlist::analysis::support;
+use netlist::cnf::{encode_cones, PinBinding};
+use netlist::{Netlist, NodeId};
+use sat::{Lit, Solver};
+
+use super::constraints::{require_popcount_equals, xor2_lit};
+
+/// Two constrained copies of a candidate cone, ready for the SlidingWindow
+/// and Distance2H queries.
+pub(crate) struct HdPair {
+    /// Solver containing the formula `F` of Algorithms 2 and 3.
+    pub solver: Solver,
+    /// The support inputs of the candidate, sorted by node id.
+    pub inputs: Vec<NodeId>,
+    /// Literals of the support inputs in the first copy.
+    pub x1: Vec<Lit>,
+    /// Literals of the support inputs in the second copy.
+    pub x2: Vec<Lit>,
+    /// `eq[i]` is true iff `x1[i] == x2[i]`.
+    pub eq: Vec<Lit>,
+}
+
+/// Builds the formula `F = c(X1) ∧ c(X2) ∧ HD(X1, X2) = distance`.
+///
+/// Returns `None` if the candidate depends on key inputs, has an empty
+/// support, or the requested distance exceeds the support size.
+pub(crate) fn build_hd_pair(
+    netlist: &Netlist,
+    candidate: NodeId,
+    distance: usize,
+) -> Option<HdPair> {
+    let sup = support(netlist, candidate);
+    if !sup.keys.is_empty() || sup.primary.is_empty() {
+        return None;
+    }
+    let inputs: Vec<NodeId> = sup.primary.iter().copied().collect();
+    if distance > inputs.len() {
+        return None;
+    }
+
+    let mut solver = Solver::new();
+    let copy1 = encode_cones(netlist, &mut solver, &[candidate], &PinBinding::default());
+    let copy2 = encode_cones(netlist, &mut solver, &[candidate], &PinBinding::default());
+    solver.add_clause([copy1.lit(candidate)]);
+    solver.add_clause([copy2.lit(candidate)]);
+
+    // Positions of the support inputs within the primary-input vector.
+    let positions: Vec<usize> = inputs
+        .iter()
+        .map(|&id| {
+            netlist
+                .inputs()
+                .iter()
+                .position(|&x| x == id)
+                .expect("support input is a primary input")
+        })
+        .collect();
+    let x1: Vec<Lit> = positions.iter().map(|&p| copy1.inputs[p]).collect();
+    let x2: Vec<Lit> = positions.iter().map(|&p| copy2.inputs[p]).collect();
+
+    let diffs: Vec<Lit> = x1
+        .iter()
+        .zip(&x2)
+        .map(|(&a, &b)| xor2_lit(&mut solver, a, b))
+        .collect();
+    require_popcount_equals(&mut solver, &diffs, distance);
+    let eq: Vec<Lit> = diffs.iter().map(|&d| !d).collect();
+
+    Some(HdPair {
+        solver,
+        inputs,
+        x1,
+        x2,
+        eq,
+    })
+}

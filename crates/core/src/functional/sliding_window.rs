@@ -1,0 +1,155 @@
+//! SlidingWindow (Algorithm 2, Lemmas 2 and 3): attack on SFLL-HDh for
+//! `2h < m`.
+//!
+//! Two satisfying assignments of the cube stripping function at Hamming
+//! distance `2h` must agree with the protected cube on every position where
+//! they agree with each other (Lemma 2).  Positions where the first model
+//! pair disagrees are resolved one by one with the Lemma 3 satisfiability
+//! query: `F ∧ (x_j = x'_j) ∧ (x_j = b)` is satisfiable iff `b = k_j`.
+
+use netlist::{Netlist, NodeId};
+use sat::SolveResult;
+
+use super::pair::build_hd_pair;
+use super::CubeAssignment;
+
+/// Runs the SlidingWindow analysis on a candidate node.
+///
+/// `h` is the SFLL-HD parameter the adversary knows (§ II-A).  Returns the
+/// suspected protected cube, or `None` (⊥) if the node cannot be the cube
+/// stripping function.
+pub fn sliding_window(netlist: &Netlist, candidate: NodeId, h: usize) -> Option<CubeAssignment> {
+    let mut pair = build_hd_pair(netlist, candidate, 2 * h)?;
+    if pair.solver.solve() != SolveResult::Sat {
+        return None;
+    }
+    let m1: Vec<bool> = pair
+        .x1
+        .iter()
+        .map(|&l| pair.solver.value(l).expect("model"))
+        .collect();
+    let m2: Vec<bool> = pair
+        .x2
+        .iter()
+        .map(|&l| pair.solver.value(l).expect("model"))
+        .collect();
+
+    let mut assignment: CubeAssignment = Vec::with_capacity(pair.inputs.len());
+    for i in 0..pair.inputs.len() {
+        let xi = pair.inputs[i];
+        if m1[i] == m2[i] {
+            assignment.push((xi, m1[i]));
+            continue;
+        }
+        // Lemma 3 query for both possible values of the disagreeing bit.
+        let value_lit = |value: bool| if value { pair.x2[i] } else { !pair.x2[i] };
+        let sat_with_m1 =
+            pair.solver.solve_with(&[pair.eq[i], value_lit(m1[i])]) == SolveResult::Sat;
+        let sat_with_m2 =
+            pair.solver.solve_with(&[pair.eq[i], value_lit(m2[i])]) == SolveResult::Sat;
+        match (sat_with_m1, sat_with_m2) {
+            (true, false) => assignment.push((xi, m1[i])),
+            (false, true) => assignment.push((xi, m2[i])),
+            _ => return None,
+        }
+    }
+    Some(assignment)
+}
+
+/// Convenience wrapper running [`sliding_window`] on several candidates and
+/// returning the per-candidate results.
+pub fn sliding_window_all(
+    netlist: &Netlist,
+    candidates: &[NodeId],
+    h: usize,
+) -> Vec<(NodeId, Option<CubeAssignment>)> {
+    candidates
+        .iter()
+        .map(|&c| (c, sliding_window(netlist, c, h)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::hamming::hamming_distance_equals_const;
+    use netlist::sim::pattern_to_bits;
+    use netlist::strash::strash;
+    use netlist::{GateKind, Netlist};
+
+    /// Builds a bare cube-stripping circuit `strip_h(cube)(X)` for testing.
+    fn stripper(m: usize, cube: u64, h: usize) -> (Netlist, NodeId, Vec<NodeId>) {
+        let mut nl = Netlist::new("strip");
+        let xs: Vec<NodeId> = (0..m).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let cube_bits = pattern_to_bits(cube, m);
+        let out = hamming_distance_equals_const(&mut nl, &xs, &cube_bits, h);
+        nl.add_output("strip", out);
+        (nl, out, xs)
+    }
+
+    #[test]
+    fn recovers_cube_for_various_h() {
+        for (m, cube, h) in [(6usize, 0b101101u64, 1usize), (6, 0b010011, 2), (8, 0xA5, 2)] {
+            let (nl, out, xs) = stripper(m, cube, h);
+            let got = sliding_window(&nl, out, h).expect("cube recovered");
+            let expected: CubeAssignment = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, (cube >> i) & 1 == 1))
+                .collect();
+            assert_eq!(got, expected, "m={m} cube={cube:b} h={h}");
+        }
+    }
+
+    #[test]
+    fn recovers_cube_after_strash() {
+        let (nl, _, _) = stripper(6, 0b110010, 1);
+        let optimized = strash(&nl);
+        let out = optimized.outputs()[0].1;
+        let got = sliding_window(&optimized, out, 1).expect("cube recovered");
+        let values: Vec<bool> = got.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, pattern_to_bits(0b110010, 6));
+    }
+
+    #[test]
+    fn h_zero_degenerates_to_the_cube_itself() {
+        let (nl, out, xs) = stripper(5, 0b10110, 0);
+        let got = sliding_window(&nl, out, 0).expect("cube recovered");
+        let expected: CubeAssignment = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, (0b10110 >> i) & 1 == 1))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rejects_functions_without_distance_2h_pairs() {
+        // A constant-false node has no satisfying assignment at all.
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let na = nl.add_gate("na", GateKind::Not, &[a]);
+        let f = nl.add_gate("f", GateKind::And, &[a, na]);
+        nl.add_output("f", f);
+        assert!(sliding_window(&nl, f, 1).is_none());
+    }
+
+    #[test]
+    fn rejects_parity_like_functions() {
+        // XOR of all inputs is satisfied at every odd-weight pattern; the
+        // sliding-window queries cannot pin unique bit values, so ⊥ results.
+        let mut nl = Netlist::new("parity");
+        let xs: Vec<NodeId> = (0..4).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let f = nl.add_gate("f", GateKind::Xor, &xs);
+        nl.add_output("f", f);
+        assert!(sliding_window(&nl, f, 1).is_none());
+    }
+
+    #[test]
+    fn batch_helper_reports_per_candidate() {
+        let (nl, out, _) = stripper(5, 0b00111, 1);
+        let results = sliding_window_all(&nl, &[out], 1);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_some());
+    }
+}

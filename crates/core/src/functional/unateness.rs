@@ -1,0 +1,203 @@
+//! AnalyzeUnateness (Algorithm 1, Lemma 1): attack on TTLock / SFLL-HD0.
+//!
+//! The cube stripping function of TTLock is a single cube, which is unate in
+//! every variable: positive unate in `x_i` iff the protected cube has
+//! `k_i = 1`, negative unate iff `k_i = 0`.  Checking unateness per variable
+//! needs two SAT queries over two cofactor copies of the candidate cone.
+
+use netlist::analysis::support;
+use netlist::cnf::{encode_cones, PinBinding};
+use netlist::{Netlist, NodeId};
+use sat::{Lit, SolveResult, Solver};
+
+use super::CubeAssignment;
+
+/// Runs the unateness analysis on a candidate node.
+///
+/// Returns the suspected protected cube (one value per support input, sorted
+/// by node id) if the node is unate in every support variable, or `None` (⊥)
+/// otherwise.
+///
+/// Variables the function does not actually depend on are reported as
+/// positive unate (value 1), mirroring the order of checks in Algorithm 1.
+pub fn analyze_unateness(netlist: &Netlist, candidate: NodeId) -> Option<CubeAssignment> {
+    let sup = support(netlist, candidate);
+    if !sup.keys.is_empty() || sup.primary.is_empty() {
+        return None;
+    }
+    let inputs: Vec<NodeId> = sup.primary.iter().copied().collect();
+
+    let mut solver = Solver::new();
+    let mut assignment = Vec::with_capacity(inputs.len());
+    for &xi in &inputs {
+        let (f0, f1) = encode_cofactor_pair(netlist, &mut solver, candidate, xi);
+        // Positive unate: f(x_i = 0) <= f(x_i = 1), i.e. f0 & !f1 unsatisfiable.
+        let positive = solver.solve_with(&[f0, !f1]) == SolveResult::Unsat;
+        if positive {
+            assignment.push((xi, true));
+            continue;
+        }
+        let negative = solver.solve_with(&[!f0, f1]) == SolveResult::Unsat;
+        if negative {
+            assignment.push((xi, false));
+        } else {
+            return None;
+        }
+    }
+    Some(assignment)
+}
+
+/// Encodes two copies of the candidate cone that share every input except
+/// `xi`, which is fixed to 0 in the first copy and to 1 in the second.
+/// Returns the two root literals.
+fn encode_cofactor_pair(
+    netlist: &Netlist,
+    solver: &mut Solver,
+    candidate: NodeId,
+    xi: NodeId,
+) -> (Lit, Lit) {
+    let shared: Vec<Lit> = (0..netlist.num_inputs())
+        .map(|_| Lit::positive(solver.new_var()))
+        .collect();
+    let keys: Vec<Lit> = (0..netlist.num_key_inputs())
+        .map(|_| Lit::positive(solver.new_var()))
+        .collect();
+    let position = netlist
+        .inputs()
+        .iter()
+        .position(|&id| id == xi)
+        .expect("xi is a primary input");
+
+    let mut low_inputs = shared.clone();
+    let low_pin = Lit::positive(solver.new_var());
+    solver.add_clause([!low_pin]);
+    low_inputs[position] = low_pin;
+
+    let mut high_inputs = shared;
+    let high_pin = Lit::positive(solver.new_var());
+    solver.add_clause([high_pin]);
+    high_inputs[position] = high_pin;
+
+    let low = encode_cones(
+        netlist,
+        solver,
+        &[candidate],
+        &PinBinding {
+            inputs: Some(low_inputs),
+            keys: Some(keys.clone()),
+        },
+    );
+    let high = encode_cones(
+        netlist,
+        solver,
+        &[candidate],
+        &PinBinding {
+            inputs: Some(high_inputs),
+            keys: Some(keys),
+        },
+    );
+    (low.lit(candidate), high.lit(candidate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locking::{LockingScheme, TtLock};
+    use netlist::random::{generate, RandomCircuitSpec};
+    use netlist::strash::strash;
+    use netlist::GateKind;
+
+    #[test]
+    fn recovers_the_cube_of_an_explicit_and_gate() {
+        // F = a & !b & !c & d  (the paper's protected cube 1001).
+        let mut nl = Netlist::new("cube");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let nb = nl.add_gate("nb", GateKind::Not, &[b]);
+        let nc = nl.add_gate("nc", GateKind::Not, &[c]);
+        let f = nl.add_gate("f", GateKind::And, &[a, nb, nc, d]);
+        nl.add_output("f", f);
+
+        let cube = analyze_unateness(&nl, f).expect("cube found");
+        assert_eq!(
+            cube,
+            vec![(a, true), (b, false), (c, false), (d, true)]
+        );
+    }
+
+    #[test]
+    fn rejects_non_unate_functions() {
+        let mut nl = Netlist::new("xor");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let f = nl.add_gate("f", GateKind::Xor, &[a, b]);
+        nl.add_output("f", f);
+        assert!(analyze_unateness(&nl, f).is_none());
+    }
+
+    #[test]
+    fn or_gate_is_unate_all_positive() {
+        let mut nl = Netlist::new("or");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let f = nl.add_gate("f", GateKind::Or, &[a, b]);
+        nl.add_output("f", f);
+        assert_eq!(
+            analyze_unateness(&nl, f),
+            Some(vec![(a, true), (b, true)])
+        );
+    }
+
+    #[test]
+    fn recovers_the_ttlock_protected_cube_after_strash() {
+        let original = generate(&RandomCircuitSpec::new("unate_tt", 8, 2, 40));
+        let locked = TtLock::new(6).with_seed(77).lock(&original).expect("lock");
+        let optimized = strash(&locked.locked);
+
+        // Use the structural stages to find the cube stripper candidates.
+        let comparators = crate::structural::find_comparators(&optimized);
+        let candidates = crate::structural::find_candidates(&optimized, &comparators);
+        let mut recovered = None;
+        for &cand in &candidates.candidates {
+            if let Some(cube) = analyze_unateness(&optimized, cand) {
+                recovered = Some(cube);
+                break;
+            }
+        }
+        let recovered = recovered.expect("some candidate is unate");
+        // Map the recovered cube back to key bits through the comparator pairing.
+        let mut key_bits = vec![false; 6];
+        for (pos, (&input, &key)) in candidates
+            .protected_inputs
+            .iter()
+            .zip(&candidates.paired_keys)
+            .enumerate()
+        {
+            let value = recovered
+                .iter()
+                .find(|(id, _)| *id == input)
+                .map(|&(_, v)| v)
+                .expect("assignment covers the input");
+            let key_index = optimized
+                .key_inputs()
+                .iter()
+                .position(|&k| k == key)
+                .expect("key input");
+            key_bits[key_index] = value;
+            let _ = pos;
+        }
+        assert_eq!(key_bits, locked.key.bits());
+    }
+
+    #[test]
+    fn nodes_depending_on_key_inputs_are_rejected() {
+        let mut nl = Netlist::new("keydep");
+        let a = nl.add_input("a");
+        let k = nl.add_key_input("k0");
+        let f = nl.add_gate("f", GateKind::And, &[a, k]);
+        nl.add_output("f", f);
+        assert!(analyze_unateness(&nl, f).is_none());
+    }
+}

@@ -1,0 +1,365 @@
+//! Key confirmation (§ V, Algorithm 4).
+//!
+//! Given a predicate ϕ over keys (typically "the key is one of these
+//! shortlisted values") and an I/O oracle, key confirmation either returns a
+//! key satisfying ϕ that is provably correct for the oracle, or ⊥ if no key
+//! in ϕ is correct.  Unlike the plain SAT attack, it distinguishes "no key in
+//! ϕ is consistent" from "no distinguishing input remains", and it restricts
+//! the search to ϕ, which is why it is orders of magnitude faster (Figure 6).
+
+use std::time::{Duration, Instant};
+
+use locking::Key;
+use netlist::cnf::encode_any_difference;
+use netlist::Netlist;
+use sat::{Lit, SolveResult, Solver};
+
+use crate::encode::{
+    assumptions_for, constrain_equal_const, instantiate, instantiate_sharing_inputs,
+    instantiate_sharing_keys, model_key, model_values,
+};
+use crate::oracle::Oracle;
+
+/// Configuration for key confirmation.
+#[derive(Clone, Debug)]
+pub struct KeyConfirmationConfig {
+    /// Abort after this many distinguishing-input iterations.
+    pub max_iterations: usize,
+    /// Wall-clock time limit.
+    pub time_limit: Option<Duration>,
+    /// Conflict budget per individual SAT call.
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for KeyConfirmationConfig {
+    fn default() -> KeyConfirmationConfig {
+        KeyConfirmationConfig {
+            max_iterations: 100_000,
+            time_limit: Some(Duration::from_secs(1000)),
+            conflict_budget: None,
+        }
+    }
+}
+
+/// The outcome of a key-confirmation run.
+#[derive(Clone, Debug)]
+pub struct KeyConfirmationResult {
+    /// The confirmed key, or `None` (⊥) if no shortlisted key is correct.
+    pub key: Option<Key>,
+    /// `true` if the run finished (either way) within its budgets.
+    pub completed: bool,
+    /// Number of distinguishing-input iterations performed.
+    pub iterations: usize,
+    /// Number of oracle queries issued.
+    pub oracle_queries: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Runs key confirmation over an explicit shortlist of suspected keys.
+///
+/// This is the common case in the FALL flow: ϕ is the disjunction of the key
+/// values produced by the functional analyses.  See
+/// [`key_confirmation_with_predicate`] for the general form.
+///
+/// # Panics
+///
+/// Panics if the shortlist is empty or a key width does not match the locked
+/// circuit.
+pub fn key_confirmation(
+    locked: &Netlist,
+    oracle: &dyn Oracle,
+    suspected_keys: &[Key],
+    config: &KeyConfirmationConfig,
+) -> KeyConfirmationResult {
+    assert!(!suspected_keys.is_empty(), "shortlist must not be empty");
+    for key in suspected_keys {
+        assert_eq!(
+            key.len(),
+            locked.num_key_inputs(),
+            "suspected key width does not match the circuit"
+        );
+    }
+    key_confirmation_with_predicate(locked, oracle, config, |solver, key_lits| {
+        // ϕ(K) = OR over shortlisted keys of (K == key_j), encoded with one
+        // selector variable per shortlisted key.
+        let selectors: Vec<Lit> = suspected_keys
+            .iter()
+            .map(|key| {
+                let selector = Lit::positive(solver.new_var());
+                for (&lit, &bit) in key_lits.iter().zip(key.bits()) {
+                    solver.add_clause([!selector, if bit { lit } else { !lit }]);
+                }
+                selector
+            })
+            .collect();
+        solver.add_clause(selectors);
+    })
+}
+
+/// Runs key confirmation with an arbitrary key predicate ϕ.
+///
+/// `add_phi` receives the key-candidate solver and the literals of `K1` and
+/// must add clauses constraining them; passing a no-op closure makes the
+/// algorithm equivalent to the plain SAT attack (ϕ = true).
+pub fn key_confirmation_with_predicate<F>(
+    locked: &Netlist,
+    oracle: &dyn Oracle,
+    config: &KeyConfirmationConfig,
+    add_phi: F,
+) -> KeyConfirmationResult
+where
+    F: FnOnce(&mut Solver, &[Lit]),
+{
+    assert_eq!(
+        oracle.num_inputs(),
+        locked.num_inputs(),
+        "oracle width does not match the locked circuit"
+    );
+    let start = Instant::now();
+
+    // P: produces candidate keys consistent with ϕ and the observed I/O pairs.
+    let mut p_solver = Solver::new();
+    p_solver.set_conflict_budget(config.conflict_budget);
+    let p_keys: Vec<Lit> = (0..locked.num_key_inputs())
+        .map(|_| Lit::positive(p_solver.new_var()))
+        .collect();
+    add_phi(&mut p_solver, &p_keys);
+
+    // Q: produces distinguishing inputs between K1 (assumed equal to the
+    // candidate) and any other key K2 consistent with the observed I/O pairs.
+    let mut q_solver = Solver::new();
+    q_solver.set_conflict_budget(config.conflict_budget);
+    let q_copy1 = instantiate(locked, &mut q_solver);
+    let q_copy2 = instantiate_sharing_inputs(locked, &mut q_solver, &q_copy1.inputs);
+    let diff = encode_any_difference(&mut q_solver, &q_copy1.outputs, &q_copy2.outputs);
+    q_solver.add_clause([diff]);
+
+    let mut iterations = 0usize;
+    let mut oracle_queries = 0usize;
+    let unfinished = |key: Option<Key>, iterations, oracle_queries, elapsed| KeyConfirmationResult {
+        key,
+        completed: false,
+        iterations,
+        oracle_queries,
+        elapsed,
+    };
+
+    loop {
+        if iterations >= config.max_iterations
+            || config
+                .time_limit
+                .map_or(false, |limit| start.elapsed() >= limit)
+        {
+            return unfinished(None, iterations, oracle_queries, start.elapsed());
+        }
+
+        // Line 6: extract a candidate key consistent with ϕ and the I/O pairs.
+        let candidate = match p_solver.solve() {
+            SolveResult::Unsat => {
+                // ⊥: no key satisfying ϕ is consistent with the oracle.
+                return KeyConfirmationResult {
+                    key: None,
+                    completed: true,
+                    iterations,
+                    oracle_queries,
+                    elapsed: start.elapsed(),
+                };
+            }
+            SolveResult::Unknown => {
+                return unfinished(None, iterations, oracle_queries, start.elapsed())
+            }
+            SolveResult::Sat => model_key(&p_solver, &p_keys),
+        };
+
+        // Line 10: look for a distinguishing input with K1 fixed to the candidate.
+        let assumptions = assumptions_for(&q_copy1.keys, candidate.bits());
+        match q_solver.solve_with(&assumptions) {
+            SolveResult::Unsat => {
+                // No distinguishing input remains: the candidate is correct.
+                return KeyConfirmationResult {
+                    key: Some(candidate),
+                    completed: true,
+                    iterations,
+                    oracle_queries,
+                    elapsed: start.elapsed(),
+                };
+            }
+            SolveResult::Unknown => {
+                return unfinished(None, iterations, oracle_queries, start.elapsed())
+            }
+            SolveResult::Sat => {}
+        }
+        iterations += 1;
+        let distinguishing_input = model_values(&q_solver, &q_copy1.inputs);
+        let observed_output = oracle.query(&distinguishing_input);
+        oracle_queries += 1;
+
+        // Lines 15–16: add the observed I/O pair to both formulas.
+        let p_constrained = instantiate_sharing_keys(locked, &mut p_solver, &p_keys);
+        constrain_equal_const(&mut p_solver, &p_constrained.inputs, &distinguishing_input);
+        constrain_equal_const(&mut p_solver, &p_constrained.outputs, &observed_output);
+
+        let q_constrained = instantiate_sharing_keys(locked, &mut q_solver, &q_copy2.keys);
+        constrain_equal_const(&mut q_solver, &q_constrained.inputs, &distinguishing_input);
+        constrain_equal_const(&mut q_solver, &q_constrained.outputs, &observed_output);
+    }
+}
+
+/// Future-work extension from § VI-D: partitions the key space into
+/// `2^partition_bits` regions by fixing the first key bits and runs key
+/// confirmation on each region in turn, returning the first confirmed key.
+///
+/// This demonstrates how ϕ can be used to parallelise the SAT attack; the
+/// regions are independent and could be dispatched to worker threads.
+pub fn partitioned_key_search(
+    locked: &Netlist,
+    oracle: &dyn Oracle,
+    partition_bits: usize,
+    config: &KeyConfirmationConfig,
+) -> KeyConfirmationResult {
+    let width = locked.num_key_inputs();
+    let partition_bits = partition_bits.min(width);
+    let mut total_iterations = 0usize;
+    let mut total_queries = 0usize;
+    let start = Instant::now();
+    for region in 0..(1u64 << partition_bits) {
+        let result = key_confirmation_with_predicate(locked, oracle, config, |solver, keys| {
+            for bit in 0..partition_bits {
+                let value = (region >> bit) & 1 == 1;
+                let lit = keys[bit];
+                solver.add_clause([if value { lit } else { !lit }]);
+            }
+        });
+        total_iterations += result.iterations;
+        total_queries += result.oracle_queries;
+        if result.key.is_some() {
+            return KeyConfirmationResult {
+                iterations: total_iterations,
+                oracle_queries: total_queries,
+                elapsed: start.elapsed(),
+                ..result
+            };
+        }
+        if !result.completed {
+            return KeyConfirmationResult {
+                key: None,
+                completed: false,
+                iterations: total_iterations,
+                oracle_queries: total_queries,
+                elapsed: start.elapsed(),
+            };
+        }
+    }
+    KeyConfirmationResult {
+        key: None,
+        completed: true,
+        iterations: total_iterations,
+        oracle_queries: total_queries,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimOracle;
+    use locking::{LockingScheme, SfllHd, TtLock};
+    use netlist::random::{generate, RandomCircuitSpec};
+
+    fn locked_sfll(h: usize) -> (netlist::Netlist, locking::LockedCircuit) {
+        let original = generate(&RandomCircuitSpec::new("kc", 12, 3, 80));
+        let locked = SfllHd::new(10, h).with_seed(23).lock(&original).expect("lock");
+        (original, locked)
+    }
+
+    #[test]
+    fn confirms_the_correct_key_among_decoys() {
+        let (original, locked) = locked_sfll(1);
+        let oracle = SimOracle::new(original);
+        let shortlist = vec![
+            locked.key.complement(),
+            Key::zeros(10),
+            locked.key.clone(),
+            Key::from_pattern(0x2A5, 10),
+        ];
+        let result = key_confirmation(
+            &locked.locked,
+            &oracle,
+            &shortlist,
+            &KeyConfirmationConfig::default(),
+        );
+        assert!(result.completed);
+        assert_eq!(result.key, Some(locked.key.clone()));
+    }
+
+    #[test]
+    fn returns_bottom_when_no_shortlisted_key_is_correct() {
+        let (original, locked) = locked_sfll(0);
+        let oracle = SimOracle::new(original);
+        let shortlist = vec![locked.key.complement(), Key::zeros(10)];
+        let result = key_confirmation(
+            &locked.locked,
+            &oracle,
+            &shortlist,
+            &KeyConfirmationConfig::default(),
+        );
+        assert!(result.completed);
+        assert_eq!(result.key, None, "wrong guesses must be detected");
+    }
+
+    #[test]
+    fn works_on_sat_resilient_ttlock_circuits() {
+        let original = generate(&RandomCircuitSpec::new("kc_tt", 10, 2, 60));
+        let locked = TtLock::new(8).with_seed(5).lock(&original).expect("lock");
+        let oracle = SimOracle::new(original);
+        let shortlist = vec![locked.key.clone(), locked.key.complement()];
+        let result = key_confirmation(
+            &locked.locked,
+            &oracle,
+            &shortlist,
+            &KeyConfirmationConfig::default(),
+        );
+        assert!(result.completed);
+        assert_eq!(result.key, Some(locked.key.clone()));
+        // Point-function schemes can force many distinguishing inputs, but the
+        // candidate pool itself never leaves the two-element shortlist.
+        assert!(
+            result.oracle_queries <= 1 << locked.key.len(),
+            "used {} queries",
+            result.oracle_queries
+        );
+    }
+
+    #[test]
+    fn predicate_true_behaves_like_the_sat_attack() {
+        let original = generate(&RandomCircuitSpec::new("kc_free", 8, 2, 50));
+        let locked = SfllHd::new(4, 0).with_seed(9).lock(&original).expect("lock");
+        let oracle = SimOracle::new(original.clone());
+        let result = key_confirmation_with_predicate(
+            &locked.locked,
+            &oracle,
+            &KeyConfirmationConfig::default(),
+            |_, _| {},
+        );
+        assert!(result.completed);
+        let key = result.key.expect("key recovered");
+        assert!(locked.key_is_functionally_correct(&key, 200, 3));
+    }
+
+    #[test]
+    fn partitioned_search_finds_the_key() {
+        let original = generate(&RandomCircuitSpec::new("kc_part", 8, 2, 50));
+        let locked = SfllHd::new(5, 0).with_seed(2).lock(&original).expect("lock");
+        let oracle = SimOracle::new(original);
+        let result = partitioned_key_search(
+            &locked.locked,
+            &oracle,
+            2,
+            &KeyConfirmationConfig::default(),
+        );
+        assert!(result.completed);
+        let key = result.key.expect("key recovered");
+        assert!(locked.key_is_functionally_correct(&key, 200, 4));
+    }
+}

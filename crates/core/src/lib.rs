@@ -1,0 +1,57 @@
+//! Functional Analysis attacks on Logic Locking (FALL).
+//!
+//! This crate implements the attack flow of *"Functional Analysis Attacks on
+//! Logic Locking"* (Sirone & Subramanyan, DATE 2019) on top of the
+//! [`netlist`], [`sat`] and [`locking`] substrate crates:
+//!
+//! 1. **Structural analyses** (§ III): [`structural::find_comparators`]
+//!    identifies the XOR/XNOR comparators pairing key inputs with circuit
+//!    inputs, and [`structural::find_candidates`] shortlists gates whose
+//!    support matches the protected inputs (potential cube-stripper outputs).
+//! 2. **Functional analyses** (§ IV): [`functional::analyze_unateness`]
+//!    (TTLock / SFLL-HD0), [`functional::sliding_window`] and
+//!    [`functional::distance_2h`] (SFLL-HDh) extract suspected key values
+//!    from a candidate node, and [`equivalence::candidate_equals_strip`]
+//!    verifies the guess by combinational equivalence checking.
+//! 3. **Key confirmation** (§ V): [`key_confirmation::key_confirmation`]
+//!    turns a shortlist of suspected keys plus an I/O oracle into a proven
+//!    correct key (or ⊥), even on SAT-attack-resilient circuits.
+//!
+//! The classic oracle-guided SAT attack (Subramanyan et al., HOST 2015) is
+//! implemented in [`sat_attack`] as the baseline the paper compares against,
+//! and [`attack::fall_attack`] wires all stages together (Figure 4).
+//!
+//! # Example: break SFLL-HD without an oracle
+//!
+//! ```
+//! use fall::attack::{fall_attack, FallAttackConfig};
+//! use locking::{LockingScheme, SfllHd};
+//! use netlist::random::{generate, RandomCircuitSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let original = generate(&RandomCircuitSpec::new("demo", 16, 3, 120));
+//! let locked = SfllHd::new(12, 1).with_seed(42).lock(&original)?.optimized();
+//!
+//! let result = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(1));
+//! assert_eq!(result.shortlisted_keys, vec![locked.key.clone()]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod attack;
+pub mod encode;
+pub mod equivalence;
+pub mod functional;
+pub mod heuristics;
+pub mod key_confirmation;
+pub mod oracle;
+pub mod sat_attack;
+pub mod structural;
+pub mod unlock;
+
+pub use attack::{fall_attack, FallAttackConfig, FallAttackResult, FallStatus};
+pub use key_confirmation::{key_confirmation, KeyConfirmationConfig, KeyConfirmationResult};
+pub use oracle::{CountingOracle, Oracle, SimOracle};
+pub use sat_attack::{sat_attack, SatAttackConfig, SatAttackResult, SatAttackStatus};

@@ -1,0 +1,181 @@
+//! Input/output oracles.
+//!
+//! The adversary model (§ II-A) optionally grants access to an *activated*
+//! chip: a black box that maps primary-input patterns to output patterns
+//! under the correct (secret) key.  [`SimOracle`] plays that role by
+//! simulating the original unlocked netlist; [`CountingOracle`] wraps any
+//! oracle and counts queries, which the experiments report.
+
+use std::cell::Cell;
+
+use netlist::Netlist;
+
+/// A black-box input/output oracle for an activated circuit.
+pub trait Oracle {
+    /// Returns the circuit outputs for the given primary-input pattern.
+    fn query(&self, inputs: &[bool]) -> Vec<bool>;
+
+    /// Number of primary inputs the oracle expects.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of outputs the oracle produces.
+    fn num_outputs(&self) -> usize;
+}
+
+/// An oracle backed by simulation of the original (unlocked) netlist.
+#[derive(Clone, Debug)]
+pub struct SimOracle {
+    netlist: Netlist,
+}
+
+impl SimOracle {
+    /// Creates an oracle from the original netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has key inputs (an activated chip has none).
+    pub fn new(original: Netlist) -> SimOracle {
+        assert_eq!(
+            original.num_key_inputs(),
+            0,
+            "oracle circuit must be the unlocked original"
+        );
+        SimOracle { netlist: original }
+    }
+
+    /// Creates an oracle from a *locked* netlist activated with its correct
+    /// key: key inputs are driven by the key values on every query.
+    pub fn from_locked(locked: Netlist, key: &locking::Key) -> ActivatedOracle {
+        ActivatedOracle {
+            netlist: locked,
+            key: key.bits().to_vec(),
+        }
+    }
+}
+
+impl Oracle for SimOracle {
+    fn query(&self, inputs: &[bool]) -> Vec<bool> {
+        self.netlist.evaluate(inputs, &[])
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.netlist.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.netlist.num_outputs()
+    }
+}
+
+/// An oracle backed by a locked netlist plus its correct key (an "activated
+/// IC bought on the open market").
+#[derive(Clone, Debug)]
+pub struct ActivatedOracle {
+    netlist: Netlist,
+    key: Vec<bool>,
+}
+
+impl Oracle for ActivatedOracle {
+    fn query(&self, inputs: &[bool]) -> Vec<bool> {
+        self.netlist.evaluate(inputs, &self.key)
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.netlist.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.netlist.num_outputs()
+    }
+}
+
+/// Wraps an oracle and counts the number of queries issued.
+#[derive(Debug)]
+pub struct CountingOracle<O> {
+    inner: O,
+    queries: Cell<usize>,
+}
+
+impl<O: Oracle> CountingOracle<O> {
+    /// Wraps `inner`.
+    pub fn new(inner: O) -> CountingOracle<O> {
+        CountingOracle {
+            inner,
+            queries: Cell::new(0),
+        }
+    }
+
+    /// Number of queries issued so far.
+    pub fn queries(&self) -> usize {
+        self.queries.get()
+    }
+
+    /// Returns the wrapped oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Oracle> Oracle for CountingOracle<O> {
+    fn query(&self, inputs: &[bool]) -> Vec<bool> {
+        self.queries.set(self.queries.get() + 1);
+        self.inner.query(inputs)
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locking::{LockingScheme, TtLock};
+    use netlist::random::{generate, RandomCircuitSpec};
+    use netlist::sim::pattern_to_bits;
+
+    #[test]
+    fn sim_oracle_matches_netlist() {
+        let nl = generate(&RandomCircuitSpec::new("oracle", 6, 2, 30));
+        let oracle = SimOracle::new(nl.clone());
+        assert_eq!(oracle.num_inputs(), 6);
+        assert_eq!(oracle.num_outputs(), 2);
+        for pattern in 0..64u64 {
+            let bits = pattern_to_bits(pattern, 6);
+            assert_eq!(oracle.query(&bits), nl.evaluate(&bits, &[]));
+        }
+    }
+
+    #[test]
+    fn activated_oracle_equals_original() {
+        let nl = generate(&RandomCircuitSpec::new("activated", 6, 2, 30));
+        let locked = TtLock::new(4).with_seed(8).lock(&nl).expect("lock");
+        let oracle = SimOracle::from_locked(locked.locked.clone(), &locked.key);
+        for pattern in 0..64u64 {
+            let bits = pattern_to_bits(pattern, 6);
+            assert_eq!(oracle.query(&bits), nl.evaluate(&bits, &[]));
+        }
+    }
+
+    #[test]
+    fn counting_oracle_counts() {
+        let nl = generate(&RandomCircuitSpec::new("count", 4, 1, 10));
+        let oracle = CountingOracle::new(SimOracle::new(nl));
+        assert_eq!(oracle.queries(), 0);
+        let _ = oracle.query(&[false; 4]);
+        let _ = oracle.query(&[true; 4]);
+        assert_eq!(oracle.queries(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlocked original")]
+    fn sim_oracle_rejects_locked_netlists() {
+        let nl = generate(&RandomCircuitSpec::new("bad", 6, 2, 30));
+        let locked = TtLock::new(4).lock(&nl).expect("lock");
+        let _ = SimOracle::new(locked.locked);
+    }
+}

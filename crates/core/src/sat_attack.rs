@@ -1,0 +1,288 @@
+//! The oracle-guided SAT attack (Subramanyan, Ray & Malik, HOST 2015).
+//!
+//! This is the baseline every SAT-resilient scheme is designed against and
+//! the comparison point of Figures 5 and 6.  The attack iteratively finds
+//! *distinguishing input patterns* — inputs on which two key classes produce
+//! different outputs — queries the oracle, and constrains the key space with
+//! the observed I/O pair, until no distinguishing input remains.
+
+use std::time::{Duration, Instant};
+
+use locking::Key;
+use netlist::cnf::encode_any_difference;
+use netlist::Netlist;
+use sat::{SolveResult, Solver};
+
+use crate::encode::{
+    constrain_equal_const, instantiate, instantiate_sharing_inputs, instantiate_sharing_keys,
+    model_key, model_values,
+};
+use crate::oracle::Oracle;
+
+/// Configuration for the SAT attack.
+#[derive(Clone, Debug)]
+pub struct SatAttackConfig {
+    /// Abort after this many distinguishing-input iterations.
+    pub max_iterations: usize,
+    /// Wall-clock time limit (the paper uses 1000 s).
+    pub time_limit: Option<Duration>,
+    /// Conflict budget per individual SAT call; `None` means unlimited.
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for SatAttackConfig {
+    fn default() -> SatAttackConfig {
+        SatAttackConfig {
+            max_iterations: 100_000,
+            time_limit: Some(Duration::from_secs(1000)),
+            conflict_budget: None,
+        }
+    }
+}
+
+impl SatAttackConfig {
+    /// A configuration with the given wall-clock time limit.
+    pub fn with_time_limit(limit: Duration) -> SatAttackConfig {
+        SatAttackConfig {
+            time_limit: Some(limit),
+            ..SatAttackConfig::default()
+        }
+    }
+}
+
+/// Why the SAT attack stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatAttackStatus {
+    /// No distinguishing input remains; the returned key is provably correct
+    /// (relative to the oracle).
+    Success,
+    /// The time limit or conflict budget was exhausted first.
+    TimedOut,
+    /// The iteration cap was reached.
+    IterationLimit,
+    /// The key-consistency formula became unsatisfiable, which indicates the
+    /// oracle does not correspond to the locked circuit.
+    Inconsistent,
+}
+
+/// The outcome of a SAT attack run.
+#[derive(Clone, Debug)]
+pub struct SatAttackResult {
+    /// The recovered key, if the attack completed.
+    pub key: Option<Key>,
+    /// Termination reason.
+    pub status: SatAttackStatus,
+    /// Number of distinguishing-input iterations performed.
+    pub iterations: usize,
+    /// Number of oracle queries issued.
+    pub oracle_queries: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl SatAttackResult {
+    /// Returns `true` if a provably correct key was produced.
+    pub fn is_success(&self) -> bool {
+        self.status == SatAttackStatus::Success && self.key.is_some()
+    }
+}
+
+/// Runs the SAT attack against a locked netlist using an I/O oracle.
+///
+/// # Panics
+///
+/// Panics if the oracle input width differs from the locked circuit's.
+pub fn sat_attack(
+    locked: &Netlist,
+    oracle: &dyn Oracle,
+    config: &SatAttackConfig,
+) -> SatAttackResult {
+    assert_eq!(
+        oracle.num_inputs(),
+        locked.num_inputs(),
+        "oracle width does not match the locked circuit"
+    );
+    let start = Instant::now();
+
+    // Distinguishing-input solver: two copies sharing X, with differing outputs.
+    let mut dis_solver = Solver::new();
+    dis_solver.set_conflict_budget(config.conflict_budget);
+    let copy1 = instantiate(locked, &mut dis_solver);
+    let copy2 = instantiate_sharing_inputs(locked, &mut dis_solver, &copy1.inputs);
+    let diff = encode_any_difference(&mut dis_solver, &copy1.outputs, &copy2.outputs);
+    dis_solver.add_clause([diff]);
+
+    // Key solver: accumulates C(Xd, K, Yd) constraints for the final key.
+    let mut key_solver = Solver::new();
+    key_solver.set_conflict_budget(config.conflict_budget);
+    let key_copy = instantiate(locked, &mut key_solver);
+    let key_lits = key_copy.keys.clone();
+
+    let mut iterations = 0usize;
+    let mut oracle_queries = 0usize;
+
+    let timed_out = |start: &Instant| {
+        config
+            .time_limit
+            .map_or(false, |limit| start.elapsed() >= limit)
+    };
+
+    loop {
+        if iterations >= config.max_iterations {
+            return SatAttackResult {
+                key: None,
+                status: SatAttackStatus::IterationLimit,
+                iterations,
+                oracle_queries,
+                elapsed: start.elapsed(),
+            };
+        }
+        if timed_out(&start) {
+            return SatAttackResult {
+                key: None,
+                status: SatAttackStatus::TimedOut,
+                iterations,
+                oracle_queries,
+                elapsed: start.elapsed(),
+            };
+        }
+        match dis_solver.solve() {
+            SolveResult::Unknown => {
+                return SatAttackResult {
+                    key: None,
+                    status: SatAttackStatus::TimedOut,
+                    iterations,
+                    oracle_queries,
+                    elapsed: start.elapsed(),
+                }
+            }
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {}
+        }
+        iterations += 1;
+        let distinguishing_input = model_values(&dis_solver, &copy1.inputs);
+        let observed_output = oracle.query(&distinguishing_input);
+        oracle_queries += 1;
+
+        // Constrain both key copies of the distinguishing solver and the key
+        // solver with the observed I/O behaviour.
+        for keys in [&copy1.keys, &copy2.keys] {
+            let constrained = instantiate_sharing_keys(locked, &mut dis_solver, keys);
+            constrain_equal_const(&mut dis_solver, &constrained.inputs, &distinguishing_input);
+            constrain_equal_const(&mut dis_solver, &constrained.outputs, &observed_output);
+        }
+        let key_constrained = instantiate_sharing_keys(locked, &mut key_solver, &key_lits);
+        constrain_equal_const(&mut key_solver, &key_constrained.inputs, &distinguishing_input);
+        constrain_equal_const(&mut key_solver, &key_constrained.outputs, &observed_output);
+    }
+
+    // No distinguishing input remains: any key satisfying the accumulated I/O
+    // constraints is functionally correct.
+    match key_solver.solve() {
+        SolveResult::Sat => SatAttackResult {
+            key: Some(model_key(&key_solver, &key_lits)),
+            status: SatAttackStatus::Success,
+            iterations,
+            oracle_queries,
+            elapsed: start.elapsed(),
+        },
+        SolveResult::Unsat => SatAttackResult {
+            key: None,
+            status: SatAttackStatus::Inconsistent,
+            iterations,
+            oracle_queries,
+            elapsed: start.elapsed(),
+        },
+        SolveResult::Unknown => SatAttackResult {
+            key: None,
+            status: SatAttackStatus::TimedOut,
+            iterations,
+            oracle_queries,
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CountingOracle, SimOracle};
+    use locking::{LockingScheme, SfllHd, XorLock};
+    use netlist::random::{generate, RandomCircuitSpec};
+    use netlist::sim::pattern_to_bits;
+
+    #[test]
+    fn breaks_random_xor_locking() {
+        let original = generate(&RandomCircuitSpec::new("sa_xor", 8, 3, 60));
+        let locked = XorLock::new(8).with_seed(5).lock(&original).expect("lock");
+        let oracle = CountingOracle::new(SimOracle::new(original.clone()));
+        let result = sat_attack(&locked.locked, &oracle, &SatAttackConfig::default());
+        assert!(result.is_success(), "status {:?}", result.status);
+        let key = result.key.expect("key");
+        // The recovered key need not be bit-identical to the inserted one but
+        // must be functionally correct.
+        for pattern in 0..256u64 {
+            let bits = pattern_to_bits(pattern, 8);
+            assert_eq!(
+                locked.locked.evaluate(&bits, key.bits()),
+                original.evaluate(&bits, &[]),
+            );
+        }
+        assert_eq!(result.oracle_queries, result.iterations);
+        assert!(result.oracle_queries > 0);
+    }
+
+    #[test]
+    fn needs_many_iterations_on_sfll() {
+        // SFLL-HD0 with a 10-bit key: each wrong key is ruled out one
+        // distinguishing input at a time, so the SAT attack needs on the
+        // order of 2^10 iterations — this is the resilience property.  With a
+        // small iteration cap the attack must fail.
+        let original = generate(&RandomCircuitSpec::new("sa_sfll", 12, 2, 80));
+        let locked = SfllHd::new(10, 0).with_seed(3).lock(&original).expect("lock");
+        let oracle = SimOracle::new(original);
+        let config = SatAttackConfig {
+            max_iterations: 20,
+            time_limit: None,
+            conflict_budget: None,
+        };
+        let result = sat_attack(&locked.locked, &oracle, &config);
+        assert_eq!(result.status, SatAttackStatus::IterationLimit);
+        assert!(result.key.is_none());
+    }
+
+    #[test]
+    fn succeeds_on_small_sfll_instances_eventually() {
+        // With a tiny key the SAT attack still wins — resilience is about
+        // scaling, not impossibility.
+        let original = generate(&RandomCircuitSpec::new("sa_small", 8, 2, 50));
+        let locked = SfllHd::new(4, 0).with_seed(11).lock(&original).expect("lock");
+        let oracle = SimOracle::new(original.clone());
+        let result = sat_attack(&locked.locked, &oracle, &SatAttackConfig::default());
+        assert!(result.is_success());
+        let key = result.key.expect("key");
+        for pattern in 0..256u64 {
+            let bits = pattern_to_bits(pattern, 8);
+            assert_eq!(
+                locked.locked.evaluate(&bits, key.bits()),
+                original.evaluate(&bits, &[]),
+            );
+        }
+    }
+
+    #[test]
+    fn time_limit_is_respected() {
+        let original = generate(&RandomCircuitSpec::new("sa_to", 14, 2, 100));
+        let locked = SfllHd::new(12, 0).with_seed(7).lock(&original).expect("lock");
+        let oracle = SimOracle::new(original);
+        let config = SatAttackConfig::with_time_limit(Duration::from_millis(50));
+        let result = sat_attack(&locked.locked, &oracle, &config);
+        assert!(matches!(
+            result.status,
+            SatAttackStatus::TimedOut | SatAttackStatus::Success
+        ));
+        if result.status == SatAttackStatus::TimedOut {
+            assert!(result.elapsed >= Duration::from_millis(50));
+        }
+    }
+}

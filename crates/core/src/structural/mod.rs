@@ -1,0 +1,8 @@
+//! Structural analyses (§ III): comparator identification and support-set
+//! matching.
+
+mod comparators;
+mod support_match;
+
+pub use comparators::{find_comparators, find_comparators_sat, Comparator};
+pub use support_match::{find_candidates, CandidateNodes};

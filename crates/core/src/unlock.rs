@@ -1,0 +1,160 @@
+//! Turning a recovered key back into an unlocked netlist.
+//!
+//! Once the FALL attack (or key confirmation) has produced a key, the
+//! adversary's end goal is the *original* design: a netlist with no key
+//! inputs that can be pirated or overproduced.  [`apply_key`] substitutes the
+//! key constants into the locked netlist and lets structural hashing sweep
+//! the now-constant restoration logic away — the "removal" step that makes
+//! the attack practically complete.
+
+use locking::Key;
+use netlist::strash::strash;
+use netlist::{GateKind, Netlist, NodeId, NodeKind};
+
+/// Substitutes concrete key values for the key inputs of a locked netlist and
+/// returns an equivalent key-free netlist.
+///
+/// The result is structurally hashed, so constants propagate through the
+/// restoration unit and most of the locking logic disappears.
+///
+/// # Panics
+///
+/// Panics if the key width does not match the number of key inputs.
+pub fn apply_key(locked: &Netlist, key: &Key) -> Netlist {
+    assert_eq!(
+        key.len(),
+        locked.num_key_inputs(),
+        "key width does not match the locked circuit"
+    );
+    let mut unlocked = Netlist::new(format!("{}_unlocked", locked.name()));
+    let mut map: Vec<NodeId> = Vec::with_capacity(locked.num_nodes());
+    // Lazily created constant drivers.
+    let mut const0: Option<NodeId> = None;
+    let mut const1: Option<NodeId> = None;
+
+    for (id, node) in locked.iter() {
+        let new_id = match node.kind() {
+            NodeKind::Input => unlocked.add_input(node.name()),
+            NodeKind::KeyInput => {
+                let position = locked
+                    .key_inputs()
+                    .iter()
+                    .position(|&k| k == id)
+                    .expect("key input is registered");
+                if key.bit(position) {
+                    *const1.get_or_insert_with(|| {
+                        let name = unlocked.fresh_name("_key_const1_");
+                        unlocked.add_gate(name, GateKind::Const1, &[])
+                    })
+                } else {
+                    *const0.get_or_insert_with(|| {
+                        let name = unlocked.fresh_name("_key_const0_");
+                        unlocked.add_gate(name, GateKind::Const0, &[])
+                    })
+                }
+            }
+            NodeKind::Gate { kind, fanins } => {
+                let mapped: Vec<NodeId> = fanins.iter().map(|f| map[f.index()]).collect();
+                unlocked.add_gate(node.name(), *kind, &mapped)
+            }
+        };
+        map.push(new_id);
+    }
+    for (name, driver) in locked.outputs() {
+        unlocked.add_output(name.clone(), map[driver.index()]);
+    }
+    strash(&unlocked)
+}
+
+/// Checks by exhaustive or sampled simulation that `unlocked` matches
+/// `reference` on `samples` input patterns (exhaustive when the input count
+/// is at most 16).
+///
+/// # Panics
+///
+/// Panics if the two circuits have different interface widths.
+pub fn equivalent_to(unlocked: &Netlist, reference: &Netlist, samples: usize, seed: u64) -> bool {
+    assert_eq!(unlocked.num_inputs(), reference.num_inputs(), "input widths differ");
+    assert_eq!(unlocked.num_outputs(), reference.num_outputs(), "output widths differ");
+    assert_eq!(unlocked.num_key_inputs(), 0, "unlocked circuit still has key inputs");
+    let n = unlocked.num_inputs();
+    if n <= 16 {
+        (0..(1u64 << n)).all(|pattern| {
+            let bits = netlist::sim::pattern_to_bits(pattern, n);
+            unlocked.evaluate(&bits, &[]) == reference.evaluate(&bits, &[])
+        })
+    } else {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..samples).all(|_| {
+            let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            unlocked.evaluate(&bits, &[]) == reference.evaluate(&bits, &[])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{fall_attack, FallAttackConfig};
+    use locking::{LockingScheme, SfllHd, TtLock, XorLock};
+    use netlist::random::{generate, RandomCircuitSpec};
+
+    #[test]
+    fn applying_the_correct_key_recovers_the_original_function() {
+        let original = generate(&RandomCircuitSpec::new("unlock", 12, 3, 90));
+        for h in [0usize, 1, 2] {
+            let locked = SfllHd::new(8, h).with_seed(4).lock(&original).expect("lock");
+            let unlocked = apply_key(&locked.locked, &locked.key);
+            assert_eq!(unlocked.num_key_inputs(), 0);
+            assert!(equivalent_to(&unlocked, &original, 256, 0), "h = {h}");
+        }
+    }
+
+    #[test]
+    fn unlocking_shrinks_the_restoration_logic() {
+        let original = generate(&RandomCircuitSpec::new("unlock_size", 12, 3, 90));
+        let locked = SfllHd::new(10, 1).with_seed(6).lock(&original).expect("lock").optimized();
+        let unlocked = apply_key(&locked.locked, &locked.key);
+        assert!(
+            unlocked.num_gates() < locked.locked.num_gates(),
+            "constants should sweep away part of the restoration unit ({} vs {})",
+            unlocked.num_gates(),
+            locked.locked.num_gates()
+        );
+    }
+
+    #[test]
+    fn applying_a_wrong_key_does_not_recover_the_original() {
+        let original = generate(&RandomCircuitSpec::new("unlock_wrong", 10, 2, 70));
+        let locked = TtLock::new(10).with_seed(8).lock(&original).expect("lock");
+        let unlocked = apply_key(&locked.locked, &locked.key.complement());
+        assert!(!equivalent_to(&unlocked, &original, 1024, 1));
+    }
+
+    #[test]
+    fn end_to_end_attack_then_unlock() {
+        let original = generate(&RandomCircuitSpec::new("unlock_e2e", 14, 3, 110));
+        let locked = SfllHd::new(10, 1).with_seed(12).lock(&original).expect("lock").optimized();
+        let result = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(1));
+        let key = result.best_key().expect("attack recovered a key");
+        let unlocked = apply_key(&locked.locked, key);
+        assert!(equivalent_to(&unlocked, &original, 2048, 2));
+    }
+
+    #[test]
+    fn works_for_xor_locking_too() {
+        let original = generate(&RandomCircuitSpec::new("unlock_xor", 10, 2, 60));
+        let locked = XorLock::new(8).with_seed(3).lock(&original).expect("lock");
+        let unlocked = apply_key(&locked.locked, &locked.key);
+        assert!(equivalent_to(&unlocked, &original, 1024, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "key width")]
+    fn key_width_is_validated() {
+        let original = generate(&RandomCircuitSpec::new("unlock_bad", 8, 2, 40));
+        let locked = TtLock::new(6).with_seed(1).lock(&original).expect("lock");
+        let _ = apply_key(&locked.locked, &Key::zeros(3));
+    }
+}

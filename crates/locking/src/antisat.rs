@@ -1,0 +1,182 @@
+//! Anti-SAT (Xie & Srivastava, CHES 2016): a SAT-attack mitigation block used
+//! as a baseline scheme.
+
+use netlist::{GateKind, Netlist, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::scheme::{choose_protected_inputs, choose_target_output};
+use crate::{Key, LockError, LockedCircuit, LockingScheme};
+
+/// The Anti-SAT locking scheme (type-0 block).
+///
+/// Two key vectors `KA` and `KB` of `n` bits each (total key width `2n`) feed
+/// the block `flip = AND_i(x_i XOR ka_i) AND NAND_i(x_i XOR kb_i)`, which is
+/// XORed onto the protected output.  Whenever `KA == KB` the two halves are
+/// complementary and `flip` is constantly 0, restoring the original
+/// behaviour; the correct key generated here uses `KA = KB = alpha` for a
+/// random `alpha`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AntiSat {
+    half_key_bits: usize,
+    seed: u64,
+    target_output: Option<usize>,
+}
+
+impl AntiSat {
+    /// Creates an Anti-SAT locker whose block spans `half_key_bits` inputs
+    /// (the total key width is `2 * half_key_bits`).
+    pub fn new(half_key_bits: usize) -> AntiSat {
+        AntiSat {
+            half_key_bits,
+            seed: 0xA271,
+            target_output: None,
+        }
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> AntiSat {
+        self.seed = seed;
+        self
+    }
+
+    /// Protects a specific output instead of the widest one.
+    pub fn with_target_output(mut self, index: usize) -> AntiSat {
+        self.target_output = Some(index);
+        self
+    }
+}
+
+impl LockingScheme for AntiSat {
+    fn name(&self) -> String {
+        "Anti-SAT".to_string()
+    }
+
+    fn lock(&self, original: &Netlist) -> Result<LockedCircuit, LockError> {
+        if self.half_key_bits == 0 {
+            return Err(LockError::BadParameters("key width must be positive".into()));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let target = match self.target_output {
+            Some(index) if index < original.num_outputs() => index,
+            Some(index) => {
+                return Err(LockError::BadParameters(format!(
+                    "target output {index} out of range"
+                )))
+            }
+            None => choose_target_output(original)?,
+        };
+        let protected = choose_protected_inputs(original, target, self.half_key_bits, &mut rng)?;
+        let alpha: Vec<bool> = (0..self.half_key_bits).map(|_| rng.gen()).collect();
+
+        let mut locked = original.clone();
+        locked.set_name(format!("{}_antisat", original.name()));
+
+        let ka: Vec<NodeId> = (0..self.half_key_bits)
+            .map(|i| locked.add_key_input(format!("keyinput{i}")))
+            .collect();
+        let kb: Vec<NodeId> = (0..self.half_key_bits)
+            .map(|i| locked.add_key_input(format!("keyinput{}", i + self.half_key_bits)))
+            .collect();
+
+        let xor_block = |locked: &mut Netlist, keys: &[NodeId]| -> Vec<NodeId> {
+            protected
+                .iter()
+                .zip(keys)
+                .map(|(&x, &k)| {
+                    let name = locked.fresh_name("_as_x_");
+                    locked.add_gate(name, GateKind::Xor, &[x, k])
+                })
+                .collect()
+        };
+        let a_bits = xor_block(&mut locked, &ka);
+        let b_bits = xor_block(&mut locked, &kb);
+
+        let g_name = locked.fresh_name("_as_g_");
+        let g = if a_bits.len() == 1 {
+            a_bits[0]
+        } else {
+            locked.add_gate(g_name, GateKind::And, &a_bits)
+        };
+        let gbar_name = locked.fresh_name("_as_gbar_");
+        let gbar = if b_bits.len() == 1 {
+            let name = locked.fresh_name("_as_gbar1_");
+            locked.add_gate(name, GateKind::Not, &[b_bits[0]])
+        } else {
+            locked.add_gate(gbar_name, GateKind::Nand, &b_bits)
+        };
+        let flip_name = locked.fresh_name("_as_flip_");
+        let flip = locked.add_gate(flip_name, GateKind::And, &[g, gbar]);
+
+        let y_original = locked.outputs()[target].1;
+        let y_name = locked.fresh_name("_as_out_");
+        let y_locked = locked.add_gate(y_name, GateKind::Xor, &[y_original, flip]);
+        locked.replace_output(target, y_locked);
+
+        // Correct key: KA = KB = alpha.
+        let mut key_bits = alpha.clone();
+        key_bits.extend(alpha.iter().copied());
+
+        Ok(LockedCircuit {
+            original: original.clone(),
+            locked,
+            key: Key::new(key_bits),
+            scheme: self.name(),
+            h: None,
+            protected_inputs: protected
+                .iter()
+                .map(|&id| original.node(id).name().to_string())
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::random::{generate, RandomCircuitSpec};
+    use netlist::sim::pattern_to_bits;
+
+    #[test]
+    fn correct_key_restores_functionality() {
+        let original = generate(&RandomCircuitSpec::new("as_test", 8, 2, 40));
+        let locked = AntiSat::new(4).with_seed(3).lock(&original).expect("lock");
+        assert_eq!(locked.locked.num_key_inputs(), 8);
+        for pattern in 0..256u64 {
+            let bits = pattern_to_bits(pattern, 8);
+            assert_eq!(
+                locked.locked.evaluate(&bits, locked.key.bits()),
+                original.evaluate(&bits, &[]),
+            );
+        }
+    }
+
+    #[test]
+    fn any_equal_halves_key_is_also_correct() {
+        // Anti-SAT has many correct keys: any assignment with KA == KB works.
+        let original = generate(&RandomCircuitSpec::new("as_alt", 6, 1, 30));
+        let locked = AntiSat::new(3).with_seed(5).lock(&original).expect("lock");
+        let alt = Key::new(vec![true, false, true, true, false, true]);
+        for pattern in 0..64u64 {
+            let bits = pattern_to_bits(pattern, 6);
+            assert_eq!(
+                locked.locked.evaluate(&bits, alt.bits()),
+                original.evaluate(&bits, &[]),
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_halves_corrupt_something() {
+        let original = generate(&RandomCircuitSpec::new("as_bad", 6, 1, 30));
+        let locked = AntiSat::new(3).with_seed(5).lock(&original).expect("lock");
+        // KA = 000, KB = 111: g and gbar overlap on some input.
+        let wrong = Key::new(vec![false, false, false, true, true, true]);
+        let corrupted = (0..64u64).any(|p| {
+            let bits = pattern_to_bits(p, 6);
+            locked.locked.evaluate(&bits, wrong.bits()) != original.evaluate(&bits, &[])
+        });
+        assert!(corrupted);
+    }
+}

@@ -1,0 +1,36 @@
+//! Errors produced by locking schemes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while locking a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The circuit has fewer primary inputs than the requested key width.
+    NotEnoughInputs {
+        /// Inputs required by the scheme.
+        needed: usize,
+        /// Inputs available in the circuit.
+        available: usize,
+    },
+    /// The circuit has no outputs to protect.
+    NoOutputs,
+    /// The scheme parameters are inconsistent (for example `h` larger than
+    /// the key width).
+    BadParameters(String),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::NotEnoughInputs { needed, available } => write!(
+                f,
+                "scheme needs {needed} primary inputs but the circuit has {available}"
+            ),
+            LockError::NoOutputs => write!(f, "circuit has no outputs to protect"),
+            LockError::BadParameters(msg) => write!(f, "invalid locking parameters: {msg}"),
+        }
+    }
+}
+
+impl Error for LockError {}

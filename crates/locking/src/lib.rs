@@ -1,0 +1,61 @@
+//! Logic-locking schemes for the FALL attacks reproduction.
+//!
+//! The paper attacks *cube-stripping* schemes — TTLock and SFLL-HDh — and
+//! compares against the classic SAT attack, which was designed for earlier
+//! schemes.  This crate implements all of them on top of the [`netlist`]
+//! substrate:
+//!
+//! * [`TtLock`] — TTLock: strips exactly the protected cube (§ II-B1).
+//! * [`SfllHd`] — SFLL-HDh: strips every cube at Hamming distance `h` from
+//!   the protected cube (§ II-B2).  `h = 0` reproduces TTLock behaviour.
+//! * [`SarLock`] — SARLock baseline (SAT-resilient point-function flip).
+//! * [`AntiSat`] — Anti-SAT baseline.
+//! * [`XorLock`] — random XOR/XNOR key-gate insertion (EPIC/RLL style), the
+//!   kind of scheme the original SAT attack breaks easily.
+//!
+//! All schemes implement the [`LockingScheme`] trait and produce a
+//! [`LockedCircuit`] carrying the locked netlist together with the correct
+//! key, so experiments can check attack results against ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use locking::{LockingScheme, SfllHd};
+//! use netlist::random::{generate, RandomCircuitSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let original = generate(&RandomCircuitSpec::new("demo", 12, 3, 80));
+//! let scheme = SfllHd::new(8, 1).with_seed(7);
+//! let locked = scheme.lock(&original)?;
+//! assert_eq!(locked.locked.num_key_inputs(), 8);
+//! // With the correct key the locked circuit matches the original.
+//! let key = locked.key.bits().to_vec();
+//! let stimulus = vec![false; 12];
+//! assert_eq!(
+//!     locked.locked.evaluate(&stimulus, &key),
+//!     original.evaluate(&stimulus, &[]),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod antisat;
+pub mod corruption;
+mod error;
+mod key;
+mod sarlock;
+mod scheme;
+mod sfll_hd;
+mod ttlock;
+mod xor_lock;
+
+pub use antisat::AntiSat;
+pub use error::LockError;
+pub use key::Key;
+pub use sarlock::SarLock;
+pub use scheme::{LockedCircuit, LockingScheme};
+pub use sfll_hd::SfllHd;
+pub use ttlock::TtLock;
+pub use xor_lock::XorLock;

@@ -1,0 +1,173 @@
+//! SARLock (Yasin et al., HOST 2016): a SAT-attack-resilient point-function
+//! scheme used as a baseline in the paper's related-work discussion.
+
+use netlist::hamming::equality_comparator;
+use netlist::{GateKind, Netlist, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::scheme::{choose_protected_inputs, choose_target_output};
+use crate::{Key, LockError, LockedCircuit, LockingScheme};
+
+/// The SARLock locking scheme.
+///
+/// The protected output is XORed with a flip signal that is high when the
+/// input equals the key value but the key is not the correct one:
+/// `flip = (X == K) AND NOT (K == Kc)`.  Each wrong key corrupts exactly one
+/// input pattern, which starves the SAT attack of distinguishing power, but
+/// the `K == Kc` masking comparator hard-codes the correct key in the netlist
+/// — the removal/bypass weakness the literature points out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SarLock {
+    key_bits: usize,
+    seed: u64,
+    target_output: Option<usize>,
+}
+
+impl SarLock {
+    /// Creates a SARLock locker with the given key width.
+    pub fn new(key_bits: usize) -> SarLock {
+        SarLock {
+            key_bits,
+            seed: 0x5A51,
+            target_output: None,
+        }
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> SarLock {
+        self.seed = seed;
+        self
+    }
+
+    /// Protects a specific output instead of the widest one.
+    pub fn with_target_output(mut self, index: usize) -> SarLock {
+        self.target_output = Some(index);
+        self
+    }
+}
+
+impl LockingScheme for SarLock {
+    fn name(&self) -> String {
+        "SARLock".to_string()
+    }
+
+    fn lock(&self, original: &Netlist) -> Result<LockedCircuit, LockError> {
+        if self.key_bits == 0 {
+            return Err(LockError::BadParameters("key width must be positive".into()));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let target = match self.target_output {
+            Some(index) if index < original.num_outputs() => index,
+            Some(index) => {
+                return Err(LockError::BadParameters(format!(
+                    "target output {index} out of range"
+                )))
+            }
+            None => choose_target_output(original)?,
+        };
+        let protected = choose_protected_inputs(original, target, self.key_bits, &mut rng)?;
+        let correct: Vec<bool> = (0..self.key_bits).map(|_| rng.gen()).collect();
+
+        let mut locked = original.clone();
+        locked.set_name(format!("{}_sarlock", original.name()));
+
+        let key_inputs: Vec<NodeId> = (0..self.key_bits)
+            .map(|i| locked.add_key_input(format!("keyinput{i}")))
+            .collect();
+
+        // X == K comparator.
+        let input_match = equality_comparator(&mut locked, &protected, &key_inputs);
+
+        // K == Kc mask (correct key hard-coded as inverted/plain literals).
+        let mask_literals: Vec<NodeId> = key_inputs
+            .iter()
+            .zip(&correct)
+            .map(|(&k, &bit)| {
+                if bit {
+                    k
+                } else {
+                    let name = locked.fresh_name("_sar_inv_");
+                    locked.add_gate(name, GateKind::Not, &[k])
+                }
+            })
+            .collect();
+        let mask_name = locked.fresh_name("_sar_mask_");
+        let key_is_correct = if mask_literals.len() == 1 {
+            mask_literals[0]
+        } else {
+            locked.add_gate(mask_name, GateKind::And, &mask_literals)
+        };
+        let not_correct_name = locked.fresh_name("_sar_nmask_");
+        let key_is_wrong = locked.add_gate(not_correct_name, GateKind::Not, &[key_is_correct]);
+
+        let flip_name = locked.fresh_name("_sar_flip_");
+        let flip = locked.add_gate(flip_name, GateKind::And, &[input_match, key_is_wrong]);
+
+        let y_original = locked.outputs()[target].1;
+        let y_name = locked.fresh_name("_sar_out_");
+        let y_locked = locked.add_gate(y_name, GateKind::Xor, &[y_original, flip]);
+        locked.replace_output(target, y_locked);
+
+        Ok(LockedCircuit {
+            original: original.clone(),
+            locked,
+            key: Key::new(correct),
+            scheme: self.name(),
+            h: None,
+            protected_inputs: protected
+                .iter()
+                .map(|&id| original.node(id).name().to_string())
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::random::{generate, RandomCircuitSpec};
+    use netlist::sim::pattern_to_bits;
+
+    #[test]
+    fn correct_key_restores_functionality() {
+        let original = generate(&RandomCircuitSpec::new("sar_test", 8, 2, 40));
+        let locked = SarLock::new(6).with_seed(6).lock(&original).expect("lock");
+        for pattern in 0..256u64 {
+            let bits = pattern_to_bits(pattern, 8);
+            assert_eq!(
+                locked.locked.evaluate(&bits, locked.key.bits()),
+                original.evaluate(&bits, &[]),
+            );
+        }
+    }
+
+    #[test]
+    fn each_wrong_key_corrupts_at_most_one_pattern() {
+        let original = generate(&RandomCircuitSpec::new("sar_small", 6, 1, 25));
+        let locked = SarLock::new(6).with_seed(9).lock(&original).expect("lock");
+        for wrong_pattern in 0..8u64 {
+            let wrong = Key::from_pattern(wrong_pattern, 6);
+            if wrong == locked.key {
+                continue;
+            }
+            let corrupted = (0..64u64)
+                .filter(|&p| {
+                    let bits = pattern_to_bits(p, 6);
+                    locked.locked.evaluate(&bits, wrong.bits()) != original.evaluate(&bits, &[])
+                })
+                .count();
+            assert!(corrupted <= 1, "wrong key {wrong} corrupted {corrupted} patterns");
+        }
+    }
+
+    #[test]
+    fn metadata_is_populated() {
+        let original = generate(&RandomCircuitSpec::new("sar_meta", 8, 2, 30));
+        let locked = SarLock::new(5).with_seed(1).lock(&original).expect("lock");
+        assert_eq!(locked.scheme, "SARLock");
+        assert_eq!(locked.h, None);
+        assert_eq!(locked.locked.num_key_inputs(), 5);
+    }
+}

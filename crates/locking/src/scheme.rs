@@ -1,0 +1,179 @@
+//! The [`LockingScheme`] trait and the [`LockedCircuit`] result type.
+
+use netlist::analysis::support;
+use netlist::strash::strash;
+use netlist::{Netlist, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Key, LockError};
+
+/// The result of locking a circuit: the locked netlist, the original it was
+/// derived from, and the ground-truth key.
+#[derive(Clone, Debug)]
+pub struct LockedCircuit {
+    /// The original (oracle) circuit.
+    pub original: Netlist,
+    /// The locked circuit with key inputs.
+    pub locked: Netlist,
+    /// The correct key (bit `i` is the value of `keyinput{i}`).
+    pub key: Key,
+    /// Human-readable scheme name, e.g. `"SFLL-HD2"`.
+    pub scheme: String,
+    /// The Hamming-distance parameter, for cube-stripping schemes.
+    pub h: Option<usize>,
+    /// Names of the protected primary inputs, in key-bit order (empty for
+    /// schemes without a protected cube).
+    pub protected_inputs: Vec<String>,
+}
+
+impl LockedCircuit {
+    /// Returns a copy whose locked netlist has been structurally hashed
+    /// (the ABC `strash` step the paper applies before attacking).
+    pub fn optimized(&self) -> LockedCircuit {
+        LockedCircuit {
+            locked: strash(&self.locked),
+            ..self.clone()
+        }
+    }
+
+    /// Checks by random simulation that `key` makes the locked circuit agree
+    /// with the original on `samples` random input patterns.
+    pub fn key_is_functionally_correct(&self, key: &Key, samples: usize, seed: u64) -> bool {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = self.original.num_inputs();
+        for _ in 0..samples {
+            let stimulus: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let want = self.original.evaluate(&stimulus, &[]);
+            let got = self.locked.evaluate(&stimulus, key.bits());
+            if want != got {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks the ground-truth key with [`LockedCircuit::key_is_functionally_correct`].
+    pub fn correct_key_is_functionally_correct(&self, samples: usize, seed: u64) -> bool {
+        self.key_is_functionally_correct(&self.key, samples, seed)
+    }
+}
+
+/// A logic-locking algorithm.
+pub trait LockingScheme {
+    /// Human-readable name including parameters (e.g. `"SFLL-HD4"`).
+    fn name(&self) -> String;
+
+    /// Locks a circuit, returning the locked netlist and ground-truth key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LockError`] when the circuit is too small for the
+    /// requested key width or has no outputs.
+    fn lock(&self, original: &Netlist) -> Result<LockedCircuit, LockError>;
+}
+
+/// Chooses `m` protected primary inputs, preferring the inputs in the support
+/// of the target output so that stripping actually corrupts it.
+pub(crate) fn choose_protected_inputs(
+    netlist: &Netlist,
+    target_output: usize,
+    m: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<Vec<NodeId>, LockError> {
+    if netlist.num_inputs() < m {
+        return Err(LockError::NotEnoughInputs {
+            needed: m,
+            available: netlist.num_inputs(),
+        });
+    }
+    let (_, driver) = &netlist.outputs()[target_output];
+    let cone_inputs: Vec<NodeId> = support(netlist, *driver).primary.into_iter().collect();
+    let mut chosen: Vec<NodeId> = cone_inputs;
+    chosen.shuffle(rng);
+    chosen.truncate(m);
+    if chosen.len() < m {
+        // Top up with inputs outside the cone (deterministically ordered).
+        for &id in netlist.inputs() {
+            if chosen.len() == m {
+                break;
+            }
+            if !chosen.contains(&id) {
+                chosen.push(id);
+            }
+        }
+    }
+    // Key-bit order follows input declaration order for reproducibility.
+    chosen.sort_unstable();
+    Ok(chosen)
+}
+
+/// Chooses the output whose support covers the most primary inputs.
+pub(crate) fn choose_target_output(netlist: &Netlist) -> Result<usize, LockError> {
+    if netlist.num_outputs() == 0 {
+        return Err(LockError::NoOutputs);
+    }
+    let mut best = 0usize;
+    let mut best_size = 0usize;
+    for (i, (_, driver)) in netlist.outputs().iter().enumerate() {
+        let size = support(netlist, *driver).primary.len();
+        if size > best_size {
+            best = i;
+            best_size = size;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateKind;
+
+    fn two_output_circuit() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_gate("g1", GateKind::And, &[a, b]);
+        let g2 = nl.add_gate("g2", GateKind::Or, &[g1, c]);
+        nl.add_output("small", g1);
+        nl.add_output("big", g2);
+        nl
+    }
+
+    #[test]
+    fn target_output_is_the_widest() {
+        let nl = two_output_circuit();
+        assert_eq!(choose_target_output(&nl).unwrap(), 1);
+    }
+
+    #[test]
+    fn protected_inputs_prefer_the_cone() {
+        let nl = two_output_circuit();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let chosen = choose_protected_inputs(&nl, 1, 2, &mut rng).unwrap();
+        assert_eq!(chosen.len(), 2);
+        for &id in &chosen {
+            assert!(nl.is_primary_input(id));
+        }
+    }
+
+    #[test]
+    fn too_many_key_bits_is_an_error() {
+        let nl = two_output_circuit();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(matches!(
+            choose_protected_inputs(&nl, 1, 10, &mut rng),
+            Err(LockError::NotEnoughInputs { needed: 10, available: 3 })
+        ));
+    }
+
+    #[test]
+    fn no_outputs_is_an_error() {
+        let nl = Netlist::new("empty");
+        assert!(matches!(choose_target_output(&nl), Err(LockError::NoOutputs)));
+    }
+}

@@ -1,0 +1,230 @@
+//! SFLL-HDh: Stripped-Functionality Logic Locking with Hamming-distance
+//! cube stripping (Yasin et al., CCS 2017), the scheme the FALL attacks
+//! target.
+
+use netlist::hamming::{hamming_distance_equals, hamming_distance_equals_const};
+use netlist::{GateKind, Netlist, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::scheme::{choose_protected_inputs, choose_target_output};
+use crate::{Key, LockError, LockedCircuit, LockingScheme};
+
+/// The SFLL-HDh locking scheme.
+///
+/// A protected cube `Kc` over `key_bits` primary inputs is chosen at random.
+/// The *functionality-stripped circuit* flips the protected output for every
+/// input at Hamming distance exactly `h` from `Kc`; the *functionality
+/// restoration unit* flips it back for every input at Hamming distance `h`
+/// from the key inputs.  The circuit therefore behaves like the original iff
+/// the key equals `Kc`.
+///
+/// `h = 0` is exactly the TTLock construction (see [`crate::TtLock`] for the
+/// AND-cube variant used in the paper's worked example).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SfllHd {
+    key_bits: usize,
+    h: usize,
+    seed: u64,
+    target_output: Option<usize>,
+}
+
+impl SfllHd {
+    /// Creates an SFLL-HDh locker with the given key width and distance `h`.
+    pub fn new(key_bits: usize, h: usize) -> SfllHd {
+        SfllHd {
+            key_bits,
+            h,
+            seed: 0x5F11,
+            target_output: None,
+        }
+    }
+
+    /// Sets the PRNG seed that determines the protected cube and input choice.
+    pub fn with_seed(mut self, seed: u64) -> SfllHd {
+        self.seed = seed;
+        self
+    }
+
+    /// Protects a specific output instead of the widest one.
+    pub fn with_target_output(mut self, index: usize) -> SfllHd {
+        self.target_output = Some(index);
+        self
+    }
+
+    /// The key width in bits.
+    pub fn key_bits(&self) -> usize {
+        self.key_bits
+    }
+
+    /// The Hamming-distance parameter `h`.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+}
+
+impl LockingScheme for SfllHd {
+    fn name(&self) -> String {
+        format!("SFLL-HD{}", self.h)
+    }
+
+    fn lock(&self, original: &Netlist) -> Result<LockedCircuit, LockError> {
+        if self.h > self.key_bits {
+            return Err(LockError::BadParameters(format!(
+                "h = {} exceeds key width {}",
+                self.h, self.key_bits
+            )));
+        }
+        if self.key_bits == 0 {
+            return Err(LockError::BadParameters("key width must be positive".into()));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let target = match self.target_output {
+            Some(index) if index < original.num_outputs() => index,
+            Some(index) => {
+                return Err(LockError::BadParameters(format!(
+                    "target output {index} out of range"
+                )))
+            }
+            None => choose_target_output(original)?,
+        };
+        let protected = choose_protected_inputs(original, target, self.key_bits, &mut rng)?;
+        let cube: Vec<bool> = (0..self.key_bits).map(|_| rng.gen()).collect();
+
+        let mut locked = original.clone();
+        locked.set_name(format!("{}_{}", original.name(), self.name().to_lowercase()));
+
+        // Functionality-stripped circuit: flip the protected output for every
+        // input pattern at Hamming distance h from the (hard-coded) cube.
+        let strip = hamming_distance_equals_const(&mut locked, &protected, &cube, self.h);
+        let y_original = locked.outputs()[target].1;
+        let y_name = locked.fresh_name("_sfll_fsc_");
+        let y_stripped = locked.add_gate(y_name, GateKind::Xor, &[y_original, strip]);
+
+        // Functionality restoration unit: flip it back when HD(X, K) == h.
+        let key_inputs: Vec<NodeId> = (0..self.key_bits)
+            .map(|i| locked.add_key_input(format!("keyinput{i}")))
+            .collect();
+        let restore = hamming_distance_equals(&mut locked, &protected, &key_inputs, self.h);
+        let y_locked_name = locked.fresh_name("_sfll_out_");
+        let y_locked = locked.add_gate(y_locked_name, GateKind::Xor, &[y_stripped, restore]);
+        locked.replace_output(target, y_locked);
+
+        Ok(LockedCircuit {
+            original: original.clone(),
+            locked,
+            key: Key::new(cube),
+            scheme: self.name(),
+            h: Some(self.h),
+            protected_inputs: protected
+                .iter()
+                .map(|&id| original.node(id).name().to_string())
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::random::{generate, RandomCircuitSpec};
+    use netlist::sim::pattern_to_bits;
+
+    fn small_original() -> Netlist {
+        generate(&RandomCircuitSpec::new("sfll_test", 8, 2, 40))
+    }
+
+    #[test]
+    fn correct_key_restores_functionality_exhaustively() {
+        let original = small_original();
+        for h in [0usize, 1, 2] {
+            let locked = SfllHd::new(6, h).with_seed(13).lock(&original).expect("lock");
+            for pattern in 0..256u64 {
+                let bits = pattern_to_bits(pattern, 8);
+                assert_eq!(
+                    locked.locked.evaluate(&bits, locked.key.bits()),
+                    original.evaluate(&bits, &[]),
+                    "h={h} pattern={pattern:08b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_key_corrupts_some_output() {
+        let original = small_original();
+        let locked = SfllHd::new(6, 1).with_seed(13).lock(&original).expect("lock");
+        let wrong = locked.key.complement();
+        let mut corrupted = false;
+        for pattern in 0..256u64 {
+            let bits = pattern_to_bits(pattern, 8);
+            if locked.locked.evaluate(&bits, wrong.bits()) != original.evaluate(&bits, &[]) {
+                corrupted = true;
+                break;
+            }
+        }
+        assert!(corrupted, "a wrong key must corrupt at least one pattern");
+    }
+
+    #[test]
+    fn hd0_corrupts_exactly_one_protected_pattern() {
+        // For TTLock / SFLL-HD0 the stripped circuit differs from the original
+        // on exactly the protected cube (when all protected inputs feed the
+        // target output cone).
+        let original = small_original();
+        let locked = SfllHd::new(8, 0).with_seed(3).lock(&original).expect("lock");
+        // Apply an all-zero (almost surely wrong) key and count corrupted patterns.
+        let zero_key = Key::zeros(8);
+        if zero_key == locked.key {
+            return; // astronomically unlikely, but keep the test sound
+        }
+        let mut corrupted = 0usize;
+        for pattern in 0..256u64 {
+            let bits = pattern_to_bits(pattern, 8);
+            if locked.locked.evaluate(&bits, zero_key.bits()) != original.evaluate(&bits, &[]) {
+                corrupted += 1;
+            }
+        }
+        // The wrong key corrupts the protected cube and the patterns matching
+        // the wrong key itself: at most 2, at least 1.
+        assert!((1..=2).contains(&corrupted), "corrupted {corrupted} patterns");
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        let original = small_original();
+        assert!(SfllHd::new(4, 5).lock(&original).is_err());
+        assert!(SfllHd::new(0, 0).lock(&original).is_err());
+        assert!(SfllHd::new(64, 1).lock(&original).is_err());
+        assert!(SfllHd::new(4, 1)
+            .with_target_output(99)
+            .lock(&original)
+            .is_err());
+    }
+
+    #[test]
+    fn locked_netlist_gains_gates_and_keys() {
+        let original = small_original();
+        let locked = SfllHd::new(6, 2).with_seed(5).lock(&original).expect("lock");
+        assert_eq!(locked.locked.num_key_inputs(), 6);
+        assert!(locked.locked.num_gates() > original.num_gates());
+        assert_eq!(locked.protected_inputs.len(), 6);
+        assert_eq!(locked.scheme, "SFLL-HD2");
+        assert!(locked.correct_key_is_functionally_correct(64, 0));
+    }
+
+    #[test]
+    fn optimized_version_is_still_correct() {
+        let original = small_original();
+        let locked = SfllHd::new(5, 1).with_seed(21).lock(&original).expect("lock");
+        let optimized = locked.optimized();
+        for pattern in 0..256u64 {
+            let bits = pattern_to_bits(pattern, 8);
+            assert_eq!(
+                optimized.locked.evaluate(&bits, locked.key.bits()),
+                original.evaluate(&bits, &[]),
+            );
+        }
+    }
+}

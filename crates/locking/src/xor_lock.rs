@@ -1,0 +1,168 @@
+//! Random XOR/XNOR key-gate insertion (EPIC / random logic locking).
+//!
+//! This is the family of early schemes the original SAT attack [22] breaks in
+//! seconds; it is included as the baseline workload on which the SAT attack
+//! *succeeds*, to contrast with its failure on SFLL.
+
+use netlist::{GateKind, Netlist, NodeId, NodeKind};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Key, LockError, LockedCircuit, LockingScheme};
+
+/// Random XOR/XNOR key-gate insertion.
+///
+/// `key_bits` wires are chosen at random; each is broken and re-driven
+/// through an XOR (correct key bit 0) or XNOR (correct key bit 1) gate with a
+/// fresh key input, so the circuit computes the original function exactly
+/// when every key bit has its correct value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XorLock {
+    key_bits: usize,
+    seed: u64,
+}
+
+impl XorLock {
+    /// Creates a random-XOR locker inserting `key_bits` key gates.
+    pub fn new(key_bits: usize) -> XorLock {
+        XorLock {
+            key_bits,
+            seed: 0xE81C,
+        }
+    }
+
+    /// Sets the PRNG seed that determines gate placement and key values.
+    pub fn with_seed(mut self, seed: u64) -> XorLock {
+        self.seed = seed;
+        self
+    }
+}
+
+impl LockingScheme for XorLock {
+    fn name(&self) -> String {
+        "XOR-Lock".to_string()
+    }
+
+    fn lock(&self, original: &Netlist) -> Result<LockedCircuit, LockError> {
+        if self.key_bits == 0 {
+            return Err(LockError::BadParameters("key width must be positive".into()));
+        }
+        if original.num_outputs() == 0 {
+            return Err(LockError::NoOutputs);
+        }
+        let gate_ids: Vec<NodeId> = original.gate_ids().collect();
+        if gate_ids.len() < self.key_bits {
+            return Err(LockError::BadParameters(format!(
+                "circuit has only {} gates but {} key gates were requested",
+                gate_ids.len(),
+                self.key_bits
+            )));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut chosen = gate_ids;
+        chosen.shuffle(&mut rng);
+        chosen.truncate(self.key_bits);
+        chosen.sort_unstable();
+        let key_values: Vec<bool> = (0..self.key_bits).map(|_| rng.gen()).collect();
+
+        // Rebuild the netlist, splicing a key gate after each chosen node.
+        let mut locked = Netlist::new(format!("{}_xorlock", original.name()));
+        let mut map: Vec<NodeId> = Vec::with_capacity(original.num_nodes());
+        for (id, node) in original.iter() {
+            let new_id = match node.kind() {
+                NodeKind::Input => locked.add_input(node.name()),
+                NodeKind::KeyInput => locked.add_key_input(node.name()),
+                NodeKind::Gate { kind, fanins } => {
+                    let mapped: Vec<NodeId> = fanins.iter().map(|f| map[f.index()]).collect();
+                    locked.add_gate(node.name(), *kind, &mapped)
+                }
+            };
+            let final_id = if let Ok(pos) = chosen.binary_search(&id) {
+                let key = locked.add_key_input(format!("keyinput{pos}"));
+                let kind = if key_values[pos] {
+                    GateKind::Xnor
+                } else {
+                    GateKind::Xor
+                };
+                let name = locked.fresh_name("_kg_");
+                locked.add_gate(name, kind, &[new_id, key])
+            } else {
+                new_id
+            };
+            map.push(final_id);
+        }
+        for (name, driver) in original.outputs() {
+            locked.add_output(name.clone(), map[driver.index()]);
+        }
+
+        Ok(LockedCircuit {
+            original: original.clone(),
+            locked,
+            key: Key::new(key_values),
+            scheme: self.name(),
+            h: None,
+            protected_inputs: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::random::{generate, RandomCircuitSpec};
+    use netlist::sim::pattern_to_bits;
+
+    #[test]
+    fn correct_key_restores_functionality() {
+        let original = generate(&RandomCircuitSpec::new("xl_test", 8, 3, 50));
+        let locked = XorLock::new(10).with_seed(17).lock(&original).expect("lock");
+        assert_eq!(locked.locked.num_key_inputs(), 10);
+        for pattern in 0..256u64 {
+            let bits = pattern_to_bits(pattern, 8);
+            assert_eq!(
+                locked.locked.evaluate(&bits, locked.key.bits()),
+                original.evaluate(&bits, &[]),
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_corrupts_many_patterns() {
+        let original = generate(&RandomCircuitSpec::new("xl_bad", 8, 3, 50));
+        let locked = XorLock::new(10).with_seed(17).lock(&original).expect("lock");
+        let wrong = locked.key.complement();
+        let corrupted = (0..256u64)
+            .filter(|&p| {
+                let bits = pattern_to_bits(p, 8);
+                locked.locked.evaluate(&bits, wrong.bits()) != original.evaluate(&bits, &[])
+            })
+            .count();
+        // Random XOR locking corrupts heavily under wrong keys (unlike SFLL).
+        assert!(corrupted > 64, "only {corrupted} of 256 patterns corrupted");
+    }
+
+    #[test]
+    fn requesting_more_gates_than_available_fails() {
+        let original = generate(&RandomCircuitSpec::new("xl_small", 4, 1, 5));
+        assert!(XorLock::new(50).lock(&original).is_err());
+    }
+
+    #[test]
+    fn key_gate_count_matches_request() {
+        let original = generate(&RandomCircuitSpec::new("xl_count", 8, 2, 40));
+        let locked = XorLock::new(7).with_seed(3).lock(&original).expect("lock");
+        let key_gates = locked
+            .locked
+            .iter()
+            .filter(|(_, n)| {
+                matches!(n.gate_kind(), Some(GateKind::Xor | GateKind::Xnor))
+                    && n.fanins()
+                        .iter()
+                        .any(|&f| locked.locked.is_key_input(f))
+            })
+            .count();
+        assert_eq!(key_gates, 7);
+    }
+}

@@ -1,0 +1,481 @@
+//! And-Inverter Graphs (AIGs) with structural hashing.
+//!
+//! The AIG is the representation ABC uses internally; converting a locked
+//! netlist to an AIG and back (see [`crate::strash`]) decomposes XOR/XNOR
+//! gates into AND/NOT structures, merges structurally identical nodes and
+//! propagates constants — exactly the kind of optimisation that makes the
+//! locking structure non-obvious (Figure 3 of the paper).
+
+use std::collections::HashMap;
+
+use crate::{GateKind, Netlist, NodeId, NodeKind};
+
+/// A literal in the AIG: an AIG node index plus a complement flag.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    fn new(node: usize, complement: bool) -> AigLit {
+        AigLit(((node as u32) << 1) | u32::from(complement))
+    }
+
+    /// The AIG node this literal refers to.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the complemented literal.
+    pub fn complement(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+/// A node of the AIG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AigNode {
+    /// The constant-false node (always node 0).
+    ConstFalse,
+    /// A primary or key input.
+    Input {
+        /// Signal name.
+        name: String,
+        /// True if this is a key input.
+        is_key: bool,
+    },
+    /// A two-input AND over literals.
+    And(AigLit, AigLit),
+}
+
+/// An And-Inverter Graph with structural hashing and constant propagation.
+///
+/// # Example
+///
+/// ```
+/// use netlist::aig::Aig;
+///
+/// let mut aig = Aig::new("demo");
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let y = aig.xor(a, b);
+/// aig.add_output("y", y);
+/// assert_eq!(aig.evaluate(&[true, false], &[]), vec![true]);
+/// assert_eq!(aig.evaluate(&[true, true], &[]), vec![false]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Aig {
+    name: String,
+    nodes: Vec<AigNode>,
+    inputs: Vec<usize>,
+    key_inputs: Vec<usize>,
+    outputs: Vec<(String, AigLit)>,
+    strash: HashMap<(AigLit, AigLit), usize>,
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    pub fn new(name: impl Into<String>) -> Aig {
+        Aig {
+            name: name.into(),
+            nodes: vec![AigNode::ConstFalse],
+            inputs: Vec::new(),
+            key_inputs: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constant-false literal.
+    pub fn const_false(&self) -> AigLit {
+        AigLit::new(0, false)
+    }
+
+    /// The constant-true literal.
+    pub fn const_true(&self) -> AigLit {
+        AigLit::new(0, true)
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And(..)))
+            .count()
+    }
+
+    /// Number of nodes of any kind (constant, inputs, ANDs).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The outputs as `(name, literal)` pairs.
+    pub fn outputs(&self) -> &[(String, AigLit)] {
+        &self.outputs
+    }
+
+    /// Adds a primary input and returns its positive literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> AigLit {
+        let idx = self.nodes.len();
+        self.nodes.push(AigNode::Input {
+            name: name.into(),
+            is_key: false,
+        });
+        self.inputs.push(idx);
+        AigLit::new(idx, false)
+    }
+
+    /// Adds a key input and returns its positive literal.
+    pub fn add_key_input(&mut self, name: impl Into<String>) -> AigLit {
+        let idx = self.nodes.len();
+        self.nodes.push(AigNode::Input {
+            name: name.into(),
+            is_key: true,
+        });
+        self.key_inputs.push(idx);
+        AigLit::new(idx, false)
+    }
+
+    /// Declares an output.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: AigLit) {
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// Structural-hashed AND of two literals with standard simplifications.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant and trivial cases.
+        if a == self.const_false() || b == self.const_false() || a == b.complement() {
+            return self.const_false();
+        }
+        if a == self.const_true() {
+            return b;
+        }
+        if b == self.const_true() || a == b {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&existing) = self.strash.get(&key) {
+            return AigLit::new(existing, false);
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(AigNode::And(key.0, key.1));
+        self.strash.insert(key, idx);
+        AigLit::new(idx, false)
+    }
+
+    /// Negation (free: just flips the complement bit).
+    pub fn not(&self, a: AigLit) -> AigLit {
+        a.complement()
+    }
+
+    /// OR built from AND and complement edges.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.and(a.complement(), b.complement()).complement()
+    }
+
+    /// XOR built from two ANDs.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let t0 = self.and(a, b.complement());
+        let t1 = self.and(a.complement(), b);
+        self.or(t0, t1)
+    }
+
+    /// XNOR.
+    pub fn xnor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.xor(a, b).complement()
+    }
+
+    /// If-then-else (multiplexer): `sel ? then_lit : else_lit`.
+    pub fn mux(&mut self, sel: AigLit, then_lit: AigLit, else_lit: AigLit) -> AigLit {
+        let t = self.and(sel, then_lit);
+        let e = self.and(sel.complement(), else_lit);
+        self.or(t, e)
+    }
+
+    /// N-ary AND.
+    pub fn and_all<I: IntoIterator<Item = AigLit>>(&mut self, lits: I) -> AigLit {
+        let mut acc = self.const_true();
+        for lit in lits {
+            acc = self.and(acc, lit);
+        }
+        acc
+    }
+
+    /// N-ary OR.
+    pub fn or_all<I: IntoIterator<Item = AigLit>>(&mut self, lits: I) -> AigLit {
+        let mut acc = self.const_false();
+        for lit in lits {
+            acc = self.or(acc, lit);
+        }
+        acc
+    }
+
+    /// Evaluates all outputs for one input pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus widths do not match the input counts.
+    pub fn evaluate(&self, inputs: &[bool], keys: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.inputs.len(), "primary input width");
+        assert_eq!(keys.len(), self.key_inputs.len(), "key input width");
+        let mut values = vec![false; self.nodes.len()];
+        for (pos, &idx) in self.inputs.iter().enumerate() {
+            values[idx] = inputs[pos];
+        }
+        for (pos, &idx) in self.key_inputs.iter().enumerate() {
+            values[idx] = keys[pos];
+        }
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = node {
+                let av = values[a.node()] ^ a.is_complemented();
+                let bv = values[b.node()] ^ b.is_complemented();
+                values[idx] = av && bv;
+            }
+        }
+        self.outputs
+            .iter()
+            .map(|&(_, lit)| values[lit.node()] ^ lit.is_complemented())
+            .collect()
+    }
+
+    /// Converts a gate-level netlist into an AIG, decomposing all gates into
+    /// AND/NOT structure with structural hashing.
+    pub fn from_netlist(netlist: &Netlist) -> Aig {
+        let mut aig = Aig::new(netlist.name());
+        let mut map: Vec<AigLit> = vec![aig.const_false(); netlist.num_nodes()];
+        for &id in netlist.inputs() {
+            map[id.index()] = aig.add_input(netlist.node(id).name());
+        }
+        for &id in netlist.key_inputs() {
+            map[id.index()] = aig.add_key_input(netlist.node(id).name());
+        }
+        for (id, node) in netlist.iter() {
+            if let NodeKind::Gate { kind, fanins } = node.kind() {
+                let lits: Vec<AigLit> = fanins.iter().map(|f| map[f.index()]).collect();
+                map[id.index()] = aig.build_gate(*kind, &lits);
+            }
+        }
+        for (name, id) in netlist.outputs() {
+            aig.add_output(name.clone(), map[id.index()]);
+        }
+        aig
+    }
+
+    fn build_gate(&mut self, kind: GateKind, lits: &[AigLit]) -> AigLit {
+        match kind {
+            GateKind::Const0 => self.const_false(),
+            GateKind::Const1 => self.const_true(),
+            GateKind::Buf => lits[0],
+            GateKind::Not => lits[0].complement(),
+            GateKind::And => self.and_all(lits.iter().copied()),
+            GateKind::Nand => self.and_all(lits.iter().copied()).complement(),
+            GateKind::Or => self.or_all(lits.iter().copied()),
+            GateKind::Nor => self.or_all(lits.iter().copied()).complement(),
+            GateKind::Xor | GateKind::Xnor => {
+                let mut acc = self.const_false();
+                for &l in lits {
+                    acc = self.xor(acc, l);
+                }
+                if kind == GateKind::Xnor {
+                    acc.complement()
+                } else {
+                    acc
+                }
+            }
+        }
+    }
+
+    /// Converts the AIG back into a gate-level netlist of AND and NOT gates.
+    ///
+    /// Input and output names are preserved; internal nodes get generated
+    /// names.  Only nodes reachable from an output are emitted.
+    pub fn to_netlist(&self) -> Netlist {
+        let mut nl = Netlist::new(self.name.clone());
+        let mut node_map: HashMap<usize, NodeId> = HashMap::new();
+        for &idx in &self.inputs {
+            if let AigNode::Input { name, .. } = &self.nodes[idx] {
+                node_map.insert(idx, nl.add_input(name.clone()));
+            }
+        }
+        for &idx in &self.key_inputs {
+            if let AigNode::Input { name, .. } = &self.nodes[idx] {
+                node_map.insert(idx, nl.add_key_input(name.clone()));
+            }
+        }
+
+        // Mark nodes reachable from outputs.
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = self.outputs.iter().map(|(_, l)| l.node()).collect();
+        while let Some(idx) = stack.pop() {
+            if reachable[idx] {
+                continue;
+            }
+            reachable[idx] = true;
+            if let AigNode::And(a, b) = &self.nodes[idx] {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+
+        let mut const0: Option<NodeId> = None;
+        let mut not_cache: HashMap<NodeId, NodeId> = HashMap::new();
+
+        // Helper to materialise a literal as a netlist node.
+        fn lit_to_node(
+            lit: AigLit,
+            nl: &mut Netlist,
+            node_map: &HashMap<usize, NodeId>,
+            not_cache: &mut HashMap<NodeId, NodeId>,
+            const0: &mut Option<NodeId>,
+        ) -> NodeId {
+            let base = if lit.node() == 0 {
+                *const0.get_or_insert_with(|| {
+                    let name = nl.fresh_name("_const0_");
+                    nl.add_gate(name, GateKind::Const0, &[])
+                })
+            } else {
+                node_map[&lit.node()]
+            };
+            if lit.is_complemented() {
+                *not_cache.entry(base).or_insert_with(|| {
+                    let name = nl.fresh_name("_inv_");
+                    nl.add_gate(name, GateKind::Not, &[base])
+                })
+            } else {
+                base
+            }
+        }
+
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if !reachable[idx] {
+                continue;
+            }
+            if let AigNode::And(a, b) = node {
+                let fa = lit_to_node(*a, &mut nl, &node_map, &mut not_cache, &mut const0);
+                let fb = lit_to_node(*b, &mut nl, &node_map, &mut not_cache, &mut const0);
+                let name = nl.fresh_name("_and_");
+                let id = nl.add_gate(name, GateKind::And, &[fa, fb]);
+                node_map.insert(idx, id);
+            }
+        }
+
+        for (name, lit) in &self.outputs {
+            let id = lit_to_node(*lit, &mut nl, &node_map, &mut not_cache, &mut const0);
+            nl.add_output(name.clone(), id);
+        }
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::pattern_to_bits;
+
+    #[test]
+    fn structural_hashing_merges_duplicates() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn simplification_rules() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let t = aig.const_true();
+        let f = aig.const_false();
+        assert_eq!(aig.and(a, t), a);
+        assert_eq!(aig.and(a, f), f);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, a.complement()), f);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn xor_and_mux_semantics() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let x = aig.xor(a, b);
+        let m = aig.mux(a, b, c);
+        aig.add_output("xor", x);
+        aig.add_output("mux", m);
+        for pattern in 0..8u64 {
+            let bits = pattern_to_bits(pattern, 3);
+            let outs = aig.evaluate(&bits, &[]);
+            assert_eq!(outs[0], bits[0] ^ bits[1]);
+            assert_eq!(outs[1], if bits[0] { bits[1] } else { bits[2] });
+        }
+    }
+
+    #[test]
+    fn netlist_round_trip_preserves_function() {
+        let mut nl = Netlist::new("rt");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let k = nl.add_key_input("k0");
+        let g1 = nl.add_gate("g1", GateKind::Nand, &[a, b]);
+        let g2 = nl.add_gate("g2", GateKind::Xor, &[g1, c]);
+        let g3 = nl.add_gate("g3", GateKind::Xnor, &[g2, k]);
+        let g4 = nl.add_gate("g4", GateKind::Nor, &[g3, a]);
+        nl.add_output("y0", g3);
+        nl.add_output("y1", g4);
+
+        let aig = Aig::from_netlist(&nl);
+        let back = aig.to_netlist();
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_key_inputs(), 1);
+        assert_eq!(back.num_outputs(), 2);
+        for pattern in 0..16u64 {
+            let bits = pattern_to_bits(pattern, 4);
+            let (ins, keys) = bits.split_at(3);
+            assert_eq!(
+                nl.evaluate(ins, keys),
+                back.evaluate(ins, keys),
+                "pattern {pattern:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_outputs_survive_round_trip() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let na = nl.add_gate("na", GateKind::Not, &[a]);
+        let z = nl.add_gate("z", GateKind::And, &[a, na]);
+        nl.add_output("z", z);
+        let back = Aig::from_netlist(&nl).to_netlist();
+        assert_eq!(back.evaluate(&[false], &[]), vec![false]);
+        assert_eq!(back.evaluate(&[true], &[]), vec![false]);
+    }
+
+    #[test]
+    fn from_netlist_counts_are_smaller_after_sharing() {
+        // Two structurally identical XORs collapse to one set of AND nodes.
+        let mut nl = Netlist::new("dup");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x1 = nl.add_gate("x1", GateKind::Xor, &[a, b]);
+        let x2 = nl.add_gate("x2", GateKind::Xor, &[a, b]);
+        let o = nl.add_gate("o", GateKind::And, &[x1, x2]);
+        nl.add_output("o", o);
+        let aig = Aig::from_netlist(&nl);
+        // One XOR costs 3 ANDs; the duplicate is hashed away and o = x & x = x.
+        assert_eq!(aig.num_ands(), 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Logic levels and aggregate statistics.
+
+use crate::{GateKind, Netlist, NodeKind};
+use std::collections::HashMap;
+
+/// Computes the logic level of every node: inputs are level 0, every gate is
+/// one more than its deepest fanin.
+pub fn logic_levels(netlist: &Netlist) -> Vec<u32> {
+    let mut levels = vec![0u32; netlist.num_nodes()];
+    for (id, node) in netlist.iter() {
+        if let NodeKind::Gate { fanins, .. } = node.kind() {
+            levels[id.index()] = fanins
+                .iter()
+                .map(|f| levels[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+    }
+    levels
+}
+
+/// Returns the depth of the circuit: the maximum logic level over all outputs.
+pub fn max_level(netlist: &Netlist) -> u32 {
+    let levels = logic_levels(netlist);
+    netlist
+        .outputs()
+        .iter()
+        .map(|&(_, id)| levels[id.index()])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Aggregate size statistics of a netlist, in the shape reported by Table I
+/// of the paper.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of key inputs.
+    pub key_inputs: usize,
+    /// Number of outputs.
+    pub outputs: usize,
+    /// Number of gates.
+    pub gates: usize,
+    /// Circuit depth (maximum logic level of an output).
+    pub depth: u32,
+    /// Gate count per gate kind.
+    pub gates_by_kind: Vec<(GateKind, usize)>,
+}
+
+impl NetlistStats {
+    /// Gathers statistics for a netlist.
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let mut by_kind: HashMap<GateKind, usize> = HashMap::new();
+        for (_, node) in netlist.iter() {
+            if let Some(kind) = node.gate_kind() {
+                *by_kind.entry(kind).or_default() += 1;
+            }
+        }
+        let mut gates_by_kind: Vec<(GateKind, usize)> = by_kind.into_iter().collect();
+        gates_by_kind.sort_by_key(|(k, _)| format!("{k}"));
+        NetlistStats {
+            inputs: netlist.num_inputs(),
+            key_inputs: netlist.num_key_inputs(),
+            outputs: netlist.num_outputs(),
+            gates: netlist.num_gates(),
+            depth: max_level(netlist),
+            gates_by_kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn levels_and_depth() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate("g1", GateKind::And, &[a, b]);
+        let g2 = nl.add_gate("g2", GateKind::Not, &[g1]);
+        let g3 = nl.add_gate("g3", GateKind::Or, &[g2, a]);
+        nl.add_output("g3", g3);
+        let levels = logic_levels(&nl);
+        assert_eq!(levels[a.index()], 0);
+        assert_eq!(levels[g1.index()], 1);
+        assert_eq!(levels[g2.index()], 2);
+        assert_eq!(levels[g3.index()], 3);
+        assert_eq!(max_level(&nl), 3);
+    }
+
+    #[test]
+    fn stats_counts_by_kind() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate("g1", GateKind::And, &[a, b]);
+        let g2 = nl.add_gate("g2", GateKind::And, &[g1, b]);
+        let g3 = nl.add_gate("g3", GateKind::Xor, &[g2, a]);
+        nl.add_output("g3", g3);
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.gates, 3);
+        assert_eq!(stats.inputs, 2);
+        assert_eq!(stats.depth, 3);
+        let and_count = stats
+            .gates_by_kind
+            .iter()
+            .find(|(k, _)| *k == GateKind::And)
+            .map(|(_, c)| *c);
+        assert_eq!(and_count, Some(2));
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_depth() {
+        let nl = Netlist::new("empty");
+        assert_eq!(max_level(&nl), 0);
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.gates, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Support sets and transitive fanin cones.
+
+use std::collections::BTreeSet;
+
+use crate::{Netlist, NodeId};
+
+/// The support of a node: the set of input nodes (primary and key) that can
+/// influence its value, split by category.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SupportSet {
+    /// Primary (circuit) inputs in the support.
+    pub primary: BTreeSet<NodeId>,
+    /// Key inputs in the support.
+    pub keys: BTreeSet<NodeId>,
+}
+
+impl SupportSet {
+    /// Total number of inputs in the support.
+    pub fn len(&self) -> usize {
+        self.primary.len() + self.keys.len()
+    }
+
+    /// Returns `true` if the support is empty (constant node).
+    pub fn is_empty(&self) -> bool {
+        self.primary.is_empty() && self.keys.is_empty()
+    }
+
+    /// Returns all support inputs (primary then key) as a sorted vector.
+    pub fn all(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.primary.iter().copied().collect();
+        v.extend(self.keys.iter().copied());
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Computes the set of all nodes in the transitive fanin cone of `node`
+/// (including `node` itself), in topological order.
+pub fn transitive_fanin(netlist: &Netlist, node: NodeId) -> Vec<NodeId> {
+    let mut in_cone = vec![false; netlist.num_nodes()];
+    let mut stack = vec![node];
+    in_cone[node.index()] = true;
+    while let Some(current) = stack.pop() {
+        for &fanin in netlist.node(current).fanins() {
+            if !in_cone[fanin.index()] {
+                in_cone[fanin.index()] = true;
+                stack.push(fanin);
+            }
+        }
+    }
+    (0..netlist.num_nodes())
+        .filter(|&i| in_cone[i])
+        .map(NodeId::from_index)
+        .collect()
+}
+
+/// Computes the support of `node`: the primary and key inputs it transitively
+/// depends on.
+pub fn support(netlist: &Netlist, node: NodeId) -> SupportSet {
+    let mut result = SupportSet::default();
+    for id in transitive_fanin(netlist, node) {
+        let n = netlist.node(id);
+        if n.is_key_input() {
+            result.keys.insert(id);
+        } else if n.is_input() {
+            result.primary.insert(id);
+        }
+    }
+    result
+}
+
+/// Computes the supports of *all* nodes in one topological sweep and returns,
+/// for each node, a compact signature: the sorted list of input node ids.
+///
+/// This is much faster than calling [`support`] per node when scanning a
+/// whole netlist (as comparator identification and support-set matching do).
+pub fn support_signature(netlist: &Netlist) -> Vec<BTreeSet<NodeId>> {
+    let mut supports: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); netlist.num_nodes()];
+    for (id, node) in netlist.iter() {
+        if node.is_input() {
+            supports[id.index()].insert(id);
+        } else {
+            let mut s = BTreeSet::new();
+            for &fanin in node.fanins() {
+                s.extend(supports[fanin.index()].iter().copied());
+            }
+            supports[id.index()] = s;
+        }
+    }
+    supports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn sample() -> (Netlist, NodeId, NodeId, NodeId, NodeId) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k = nl.add_key_input("k0");
+        let g1 = nl.add_gate("g1", GateKind::And, &[a, b]);
+        let g2 = nl.add_gate("g2", GateKind::Xor, &[g1, k]);
+        nl.add_output("g2", g2);
+        (nl, a, b, k, g2)
+    }
+
+    #[test]
+    fn support_splits_keys_and_primaries() {
+        let (nl, a, b, k, g2) = sample();
+        let s = support(&nl, g2);
+        assert_eq!(s.primary, [a, b].into_iter().collect());
+        assert_eq!(s.keys, [k].into_iter().collect());
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn transitive_fanin_is_topological_and_complete() {
+        let (nl, a, b, k, g2) = sample();
+        let cone = transitive_fanin(&nl, g2);
+        assert!(cone.contains(&a));
+        assert!(cone.contains(&b));
+        assert!(cone.contains(&k));
+        assert!(cone.contains(&g2));
+        for window in cone.windows(2) {
+            assert!(window[0] < window[1]);
+        }
+    }
+
+    #[test]
+    fn input_support_is_itself() {
+        let (nl, a, _, _, _) = sample();
+        let s = support(&nl, a);
+        assert_eq!(s.primary, [a].into_iter().collect());
+        assert!(s.keys.is_empty());
+    }
+
+    #[test]
+    fn bulk_signatures_match_per_node_support() {
+        let (nl, _, _, _, _) = sample();
+        let sigs = support_signature(&nl);
+        for (id, _) in nl.iter() {
+            let s = support(&nl, id);
+            let expected: BTreeSet<NodeId> =
+                s.primary.iter().chain(s.keys.iter()).copied().collect();
+            assert_eq!(sigs[id.index()], expected, "node {id:?}");
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Tseitin encoding of netlists into the [`sat`] solver.
+//!
+//! The attacks repeatedly instantiate copies of (parts of) a circuit inside a
+//! SAT solver: the SAT attack needs two key copies sharing the same inputs,
+//! the functional analyses need two input copies of a single cone, and so on.
+//! [`encode`] and [`encode_cones`] support this by letting the caller pin the
+//! literals used for primary and key inputs.
+
+use sat::{Lit, Solver};
+
+use crate::{GateKind, Netlist, NodeId, NodeKind};
+
+/// How input pins are bound when encoding a circuit copy.
+#[derive(Clone, Debug, Default)]
+pub struct PinBinding {
+    /// Literals to use for the primary inputs (in declaration order).  Fresh
+    /// variables are created when `None`.
+    pub inputs: Option<Vec<Lit>>,
+    /// Literals to use for the key inputs (in declaration order).  Fresh
+    /// variables are created when `None`.
+    pub keys: Option<Vec<Lit>>,
+}
+
+/// The result of encoding a circuit (or a set of cones) into a solver.
+#[derive(Clone, Debug)]
+pub struct CircuitEncoding {
+    /// Literal of every encoded node, indexed by [`NodeId::index`].  `None`
+    /// for nodes outside the encoded cones.
+    pub node_lits: Vec<Option<Lit>>,
+    /// Literals of the primary inputs, in declaration order.
+    pub inputs: Vec<Lit>,
+    /// Literals of the key inputs, in declaration order.
+    pub keys: Vec<Lit>,
+    /// Literals of the outputs, in declaration order.
+    pub outputs: Vec<Lit>,
+}
+
+impl CircuitEncoding {
+    /// Returns the literal of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not part of the encoded cones.
+    pub fn lit(&self, node: NodeId) -> Lit {
+        self.node_lits[node.index()].expect("node was not encoded")
+    }
+}
+
+/// Encodes the whole netlist into `solver` and returns the pin literals.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{GateKind, Netlist};
+/// use netlist::cnf::{encode, PinBinding};
+/// use sat::{Solver, SolveResult};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let y = nl.add_gate("y", GateKind::And, &[a, b]);
+/// nl.add_output("y", y);
+///
+/// let mut solver = Solver::new();
+/// let enc = encode(&nl, &mut solver, &PinBinding::default());
+/// // Force the output true: both inputs must be true.
+/// solver.add_clause([enc.outputs[0]]);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert_eq!(solver.value(enc.inputs[0]), Some(true));
+/// assert_eq!(solver.value(enc.inputs[1]), Some(true));
+/// ```
+pub fn encode(netlist: &Netlist, solver: &mut Solver, pins: &PinBinding) -> CircuitEncoding {
+    let roots: Vec<NodeId> = netlist.outputs().iter().map(|&(_, id)| id).collect();
+    encode_cones(netlist, solver, &roots, pins)
+}
+
+/// Encodes only the transitive fanin cones of `roots` into `solver`.
+///
+/// Inputs outside the cones still receive literals (taken from `pins` or
+/// freshly allocated) so that pin vectors always have the full width.
+pub fn encode_cones(
+    netlist: &Netlist,
+    solver: &mut Solver,
+    roots: &[NodeId],
+    pins: &PinBinding,
+) -> CircuitEncoding {
+    // Mark the union of the cones.
+    let mut in_cone = vec![false; netlist.num_nodes()];
+    let mut stack: Vec<NodeId> = roots.to_vec();
+    for &r in roots {
+        in_cone[r.index()] = true;
+    }
+    while let Some(id) = stack.pop() {
+        for &f in netlist.node(id).fanins() {
+            if !in_cone[f.index()] {
+                in_cone[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+
+    let mut node_lits: Vec<Option<Lit>> = vec![None; netlist.num_nodes()];
+
+    // Bind or allocate the input pins.
+    let input_lits: Vec<Lit> = match &pins.inputs {
+        Some(lits) => {
+            assert_eq!(lits.len(), netlist.num_inputs(), "primary input pin width");
+            lits.clone()
+        }
+        None => (0..netlist.num_inputs())
+            .map(|_| Lit::positive(solver.new_var()))
+            .collect(),
+    };
+    let key_lits: Vec<Lit> = match &pins.keys {
+        Some(lits) => {
+            assert_eq!(lits.len(), netlist.num_key_inputs(), "key input pin width");
+            lits.clone()
+        }
+        None => (0..netlist.num_key_inputs())
+            .map(|_| Lit::positive(solver.new_var()))
+            .collect(),
+    };
+    for (pos, &id) in netlist.inputs().iter().enumerate() {
+        node_lits[id.index()] = Some(input_lits[pos]);
+    }
+    for (pos, &id) in netlist.key_inputs().iter().enumerate() {
+        node_lits[id.index()] = Some(key_lits[pos]);
+    }
+
+    let mut const_false: Option<Lit> = None;
+
+    for (id, node) in netlist.iter() {
+        if !in_cone[id.index()] || node.is_input() {
+            continue;
+        }
+        let NodeKind::Gate { kind, fanins } = node.kind() else {
+            continue;
+        };
+        let fanin_lits: Vec<Lit> = fanins
+            .iter()
+            .map(|f| node_lits[f.index()].expect("fanins are topologically earlier"))
+            .collect();
+        let lit = encode_gate(solver, *kind, &fanin_lits, &mut const_false);
+        node_lits[id.index()] = Some(lit);
+    }
+
+    // Outputs outside the requested cones are skipped; for whole-netlist
+    // encoding every output is present and order is preserved.
+    let outputs: Vec<Lit> = netlist
+        .outputs()
+        .iter()
+        .filter_map(|&(_, id)| node_lits[id.index()])
+        .collect();
+
+    CircuitEncoding {
+        node_lits,
+        inputs: input_lits,
+        keys: key_lits,
+        outputs,
+    }
+}
+
+fn false_lit(solver: &mut Solver, cache: &mut Option<Lit>) -> Lit {
+    *cache.get_or_insert_with(|| {
+        let lit = Lit::positive(solver.new_var());
+        solver.add_clause([!lit]);
+        lit
+    })
+}
+
+fn encode_gate(
+    solver: &mut Solver,
+    kind: GateKind,
+    fanins: &[Lit],
+    const_false: &mut Option<Lit>,
+) -> Lit {
+    match kind {
+        GateKind::Const0 => false_lit(solver, const_false),
+        GateKind::Const1 => !false_lit(solver, const_false),
+        GateKind::Buf => fanins[0],
+        GateKind::Not => !fanins[0],
+        GateKind::And => encode_and(solver, fanins),
+        GateKind::Nand => !encode_and(solver, fanins),
+        GateKind::Or => !encode_and(solver, &fanins.iter().map(|&l| !l).collect::<Vec<_>>()),
+        GateKind::Nor => encode_and(solver, &fanins.iter().map(|&l| !l).collect::<Vec<_>>()),
+        GateKind::Xor => encode_xor(solver, fanins),
+        GateKind::Xnor => !encode_xor(solver, fanins),
+    }
+}
+
+/// Encodes `y = AND(fanins)` and returns `y`.
+fn encode_and(solver: &mut Solver, fanins: &[Lit]) -> Lit {
+    let y = Lit::positive(solver.new_var());
+    let mut long_clause: Vec<Lit> = Vec::with_capacity(fanins.len() + 1);
+    for &f in fanins {
+        solver.add_clause([!y, f]);
+        long_clause.push(!f);
+    }
+    long_clause.push(y);
+    solver.add_clause(long_clause);
+    y
+}
+
+/// Encodes the parity of `fanins` with a chain of two-input XORs.
+fn encode_xor(solver: &mut Solver, fanins: &[Lit]) -> Lit {
+    let mut acc = fanins[0];
+    for &f in &fanins[1..] {
+        acc = encode_xor2(solver, acc, f);
+    }
+    acc
+}
+
+fn encode_xor2(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    let y = Lit::positive(solver.new_var());
+    solver.add_clause([!a, !b, !y]);
+    solver.add_clause([a, b, !y]);
+    solver.add_clause([a, !b, y]);
+    solver.add_clause([!a, b, y]);
+    y
+}
+
+/// Adds clauses forcing `lit` to equal the constant `value`.
+pub fn assert_lit_equals(solver: &mut Solver, lit: Lit, value: bool) {
+    solver.add_clause([if value { lit } else { !lit }]);
+}
+
+/// Adds clauses forcing two literal vectors to be pairwise equal.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn assert_equal(solver: &mut Solver, a: &[Lit], b: &[Lit]) {
+    assert_eq!(a.len(), b.len(), "vector widths differ");
+    for (&x, &y) in a.iter().zip(b) {
+        solver.add_clause([!x, y]);
+        solver.add_clause([x, !y]);
+    }
+}
+
+/// Creates a literal that is true iff the two literal vectors differ in at
+/// least one position (a miter over multiple outputs).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn encode_any_difference(solver: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len(), "vector widths differ");
+    let diffs: Vec<Lit> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| encode_xor2(solver, x, y))
+        .collect();
+    // OR of all difference bits.
+    !encode_and(solver, &diffs.iter().map(|&d| !d).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::pattern_to_bits;
+    use sat::SolveResult;
+
+    fn check_encoding_matches_simulation(nl: &Netlist) {
+        let width = nl.num_inputs() + nl.num_key_inputs();
+        assert!(width <= 12, "exhaustive check only for small circuits");
+        for pattern in 0..(1u64 << width) {
+            let bits = pattern_to_bits(pattern, width);
+            let (ins, keys) = bits.split_at(nl.num_inputs());
+            let expected = nl.evaluate(ins, keys);
+
+            let mut solver = Solver::new();
+            let enc = encode(nl, &mut solver, &PinBinding::default());
+            for (i, &lit) in enc.inputs.iter().enumerate() {
+                assert_lit_equals(&mut solver, lit, ins[i]);
+            }
+            for (i, &lit) in enc.keys.iter().enumerate() {
+                assert_lit_equals(&mut solver, lit, keys[i]);
+            }
+            assert_eq!(solver.solve(), SolveResult::Sat);
+            let got: Vec<bool> = enc
+                .outputs
+                .iter()
+                .map(|&l| solver.value(l).expect("assigned"))
+                .collect();
+            assert_eq!(got, expected, "pattern {pattern:b}");
+        }
+    }
+
+    #[test]
+    fn all_gate_kinds_encode_correctly() {
+        let mut nl = Netlist::new("gates");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let and = nl.add_gate("and", GateKind::And, &[a, b, c]);
+        let nand = nl.add_gate("nand", GateKind::Nand, &[a, b]);
+        let or = nl.add_gate("or", GateKind::Or, &[a, b, c]);
+        let nor = nl.add_gate("nor", GateKind::Nor, &[a, c]);
+        let xor = nl.add_gate("xor", GateKind::Xor, &[a, b, c]);
+        let xnor = nl.add_gate("xnor", GateKind::Xnor, &[b, c]);
+        let not = nl.add_gate("not", GateKind::Not, &[xor]);
+        let buf = nl.add_gate("buf", GateKind::Buf, &[nand]);
+        let c0 = nl.add_gate("c0", GateKind::Const0, &[]);
+        let c1 = nl.add_gate("c1", GateKind::Const1, &[]);
+        let mix = nl.add_gate("mix", GateKind::Or, &[c0, c1, not, buf]);
+        for (name, id) in [
+            ("o_and", and),
+            ("o_nand", nand),
+            ("o_or", or),
+            ("o_nor", nor),
+            ("o_xor", xor),
+            ("o_xnor", xnor),
+            ("o_mix", mix),
+        ] {
+            nl.add_output(name, id);
+        }
+        check_encoding_matches_simulation(&nl);
+    }
+
+    #[test]
+    fn keyed_circuit_encoding() {
+        let mut nl = Netlist::new("keyed");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k = nl.add_key_input("k0");
+        let x = nl.add_gate("x", GateKind::Xor, &[a, k]);
+        let y = nl.add_gate("y", GateKind::And, &[x, b]);
+        nl.add_output("y", y);
+        check_encoding_matches_simulation(&nl);
+    }
+
+    #[test]
+    fn pinned_inputs_are_shared_between_copies() {
+        // Encode the same circuit twice sharing inputs but with distinct keys;
+        // forcing the two outputs to differ must force the keys to differ.
+        let mut nl = Netlist::new("shared");
+        let a = nl.add_input("a");
+        let k = nl.add_key_input("k0");
+        let y = nl.add_gate("y", GateKind::Xor, &[a, k]);
+        nl.add_output("y", y);
+
+        let mut solver = Solver::new();
+        let first = encode(&nl, &mut solver, &PinBinding::default());
+        let second = encode(
+            &nl,
+            &mut solver,
+            &PinBinding {
+                inputs: Some(first.inputs.clone()),
+                keys: None,
+            },
+        );
+        let diff = encode_any_difference(&mut solver, &first.outputs, &second.outputs);
+        solver.add_clause([diff]);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        let k1 = solver.value(first.keys[0]).unwrap();
+        let k2 = solver.value(second.keys[0]).unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn assert_equal_forces_equality() {
+        let mut solver = Solver::new();
+        let a = Lit::positive(solver.new_var());
+        let b = Lit::positive(solver.new_var());
+        assert_equal(&mut solver, &[a], &[b]);
+        solver.add_clause([a]);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.value(b), Some(true));
+    }
+
+    #[test]
+    fn cone_encoding_skips_unrelated_logic() {
+        let mut nl = Netlist::new("cones");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate("g1", GateKind::And, &[a, b]);
+        let g2 = nl.add_gate("g2", GateKind::Or, &[a, b]);
+        nl.add_output("g1", g1);
+        nl.add_output("g2", g2);
+        let mut solver = Solver::new();
+        let enc = encode_cones(&nl, &mut solver, &[g1], &PinBinding::default());
+        assert!(enc.node_lits[g1.index()].is_some());
+        assert!(enc.node_lits[g2.index()].is_none());
+    }
+}

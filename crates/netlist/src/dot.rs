@@ -1,0 +1,116 @@
+//! Graphviz DOT export for visual inspection of (locked) netlists.
+
+use crate::{Netlist, NodeKind};
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// Primary inputs are drawn as triangles, key inputs as red triangles, gates
+/// as boxes labelled with their kind, and outputs as double circles — handy
+/// for eyeballing where a locking scheme spliced its logic.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{GateKind, Netlist};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let k = nl.add_key_input("keyinput0");
+/// let g = nl.add_gate("g", GateKind::Xor, &[a, k]);
+/// nl.add_output("y", g);
+/// let dot = netlist::dot::to_dot(&nl);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("keyinput0"));
+/// ```
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(netlist.name())));
+    out.push_str("  rankdir=TB;\n");
+    out.push_str("  node [fontname=\"monospace\"];\n");
+
+    for (id, node) in netlist.iter() {
+        let name = escape(node.name());
+        match node.kind() {
+            NodeKind::Input => {
+                out.push_str(&format!(
+                    "  n{} [label=\"{}\", shape=triangle];\n",
+                    id.index(),
+                    name
+                ));
+            }
+            NodeKind::KeyInput => {
+                out.push_str(&format!(
+                    "  n{} [label=\"{}\", shape=triangle, color=red, fontcolor=red];\n",
+                    id.index(),
+                    name
+                ));
+            }
+            NodeKind::Gate { kind, fanins } => {
+                out.push_str(&format!(
+                    "  n{} [label=\"{}\\n{}\", shape=box];\n",
+                    id.index(),
+                    name,
+                    kind
+                ));
+                for fanin in fanins {
+                    out.push_str(&format!("  n{} -> n{};\n", fanin.index(), id.index()));
+                }
+            }
+        }
+    }
+    for (i, (name, driver)) in netlist.outputs().iter().enumerate() {
+        out.push_str(&format!(
+            "  out{} [label=\"{}\", shape=doublecircle];\n",
+            i,
+            escape(name)
+        ));
+        out.push_str(&format!("  n{} -> out{};\n", driver.index(), i));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(text: &str) -> String {
+    text.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let mut nl = Netlist::new("dot_test");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate("g", GateKind::And, &[a, b]);
+        nl.add_output("y", g);
+        let dot = to_dot(&nl);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=triangle"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("doublecircle"));
+        assert_eq!(dot.matches("->").count(), 3);
+    }
+
+    #[test]
+    fn key_inputs_are_highlighted() {
+        let mut nl = Netlist::new("dot_keys");
+        let a = nl.add_input("a");
+        let k = nl.add_key_input("keyinput0");
+        let g = nl.add_gate("g", GateKind::Xnor, &[a, k]);
+        nl.add_output("y", g);
+        let dot = to_dot(&nl);
+        assert!(dot.contains("color=red"));
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let mut nl = Netlist::new("weird\"name");
+        let a = nl.add_input("a");
+        nl.add_output("y", a);
+        let dot = to_dot(&nl);
+        assert!(dot.contains("weird\\\"name"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing or analysing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A node name was used twice.
+    DuplicateName(String),
+    /// A referenced signal name does not exist.
+    UnknownSignal(String),
+    /// A gate was given the wrong number of fanins.
+    BadArity {
+        /// The gate kind.
+        gate: String,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// A `.bench` document could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The number of stimulus bits does not match the number of inputs.
+    StimulusWidth {
+        /// Expected number of bits.
+        expected: usize,
+        /// Provided number of bits.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(name) => write!(f, "duplicate signal name `{name}`"),
+            NetlistError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
+            NetlistError::BadArity { gate, got } => {
+                write!(f, "gate `{gate}` cannot take {got} fanins")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "bench parse error at line {line}: {message}")
+            }
+            NetlistError::StimulusWidth { expected, got } => {
+                write!(f, "stimulus has {got} bits but circuit expects {expected}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,231 @@
+//! Gate kinds and their Boolean semantics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a logic gate.
+///
+/// All gates except [`GateKind::Not`], [`GateKind::Buf`] and the constants
+/// accept two or more fanins and apply the operation left to right.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Constant false.
+    Const0,
+    /// Constant true.
+    Const1,
+    /// Identity of a single fanin.
+    Buf,
+    /// Negation of a single fanin.
+    Not,
+    /// Conjunction of all fanins.
+    And,
+    /// Negated conjunction.
+    Nand,
+    /// Disjunction of all fanins.
+    Or,
+    /// Negated disjunction.
+    Nor,
+    /// Exclusive-or (odd parity) of all fanins.
+    Xor,
+    /// Negated exclusive-or (even parity).
+    Xnor,
+}
+
+impl GateKind {
+    /// Evaluates the gate over concrete fanin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values is not valid for this gate kind (see
+    /// [`GateKind::arity_ok`]).
+    pub fn evaluate(self, values: &[bool]) -> bool {
+        assert!(
+            self.arity_ok(values.len()),
+            "gate {self} cannot take {} fanins",
+            values.len()
+        );
+        match self {
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => values[0],
+            GateKind::Not => !values[0],
+            GateKind::And => values.iter().all(|&v| v),
+            GateKind::Nand => !values.iter().all(|&v| v),
+            GateKind::Or => values.iter().any(|&v| v),
+            GateKind::Nor => !values.iter().any(|&v| v),
+            GateKind::Xor => values.iter().fold(false, |acc, &v| acc ^ v),
+            GateKind::Xnor => !values.iter().fold(false, |acc, &v| acc ^ v),
+        }
+    }
+
+    /// Evaluates the gate over 64 input patterns at once (one per bit).
+    pub fn evaluate_words(self, values: &[u64]) -> u64 {
+        assert!(
+            self.arity_ok(values.len()),
+            "gate {self} cannot take {} fanins",
+            values.len()
+        );
+        match self {
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+            GateKind::Buf => values[0],
+            GateKind::Not => !values[0],
+            GateKind::And => values.iter().fold(!0u64, |acc, &v| acc & v),
+            GateKind::Nand => !values.iter().fold(!0u64, |acc, &v| acc & v),
+            GateKind::Or => values.iter().fold(0u64, |acc, &v| acc | v),
+            GateKind::Nor => !values.iter().fold(0u64, |acc, &v| acc | v),
+            GateKind::Xor => values.iter().fold(0u64, |acc, &v| acc ^ v),
+            GateKind::Xnor => !values.iter().fold(0u64, |acc, &v| acc ^ v),
+        }
+    }
+
+    /// Returns `true` if a gate of this kind may have `n` fanins.
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => n == 0,
+            GateKind::Buf | GateKind::Not => n == 1,
+            _ => n >= 2,
+        }
+    }
+
+    /// Returns `true` if the gate output is inverted relative to its
+    /// non-negated counterpart (`Nand`, `Nor`, `Xnor`, `Not`).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// The `.bench` keyword for this gate kind.
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Parses a `.bench` gate keyword (case-insensitive).
+    pub fn from_bench_name(name: &str) -> Option<GateKind> {
+        match name.to_ascii_uppercase().as_str() {
+            "CONST0" | "GND" => Some(GateKind::Const0),
+            "CONST1" | "VDD" => Some(GateKind::Const1),
+            "BUF" | "BUFF" => Some(GateKind::Buf),
+            "NOT" | "INV" => Some(GateKind::Not),
+            "AND" => Some(GateKind::And),
+            "NAND" => Some(GateKind::Nand),
+            "OR" => Some(GateKind::Or),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            _ => None,
+        }
+    }
+
+    /// All gate kinds usable as multi-input combinational gates.
+    pub fn combinational() -> &'static [GateKind] {
+        &[
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ]
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_input_truth_tables() {
+        let cases = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expected) in cases {
+            for (i, &want) in expected.iter().enumerate() {
+                let a = i & 1 != 0;
+                let b = i & 2 != 0;
+                assert_eq!(kind.evaluate(&[a, b]), want, "{kind} on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn word_evaluation_matches_scalar() {
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for pattern in 0u64..16 {
+                let a = pattern & 0b0011;
+                let b = pattern & 0b0101;
+                let word = kind.evaluate_words(&[a, b]);
+                for bit in 0..4 {
+                    let scalar = kind.evaluate(&[(a >> bit) & 1 == 1, (b >> bit) & 1 == 1]);
+                    assert_eq!((word >> bit) & 1 == 1, scalar);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateKind::Not.arity_ok(1));
+        assert!(!GateKind::Not.arity_ok(2));
+        assert!(GateKind::And.arity_ok(4));
+        assert!(!GateKind::And.arity_ok(1));
+        assert!(GateKind::Const1.arity_ok(0));
+    }
+
+    #[test]
+    fn bench_name_round_trip() {
+        for kind in [
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            assert_eq!(GateKind::from_bench_name(kind.bench_name()), Some(kind));
+        }
+        assert_eq!(GateKind::from_bench_name("DFF"), None);
+    }
+
+    #[test]
+    fn multi_input_xor_is_parity() {
+        assert!(GateKind::Xor.evaluate(&[true, true, true]));
+        assert!(!GateKind::Xor.evaluate(&[true, true, true, true]));
+        assert!(GateKind::Xnor.evaluate(&[true, true, false, false]));
+    }
+}

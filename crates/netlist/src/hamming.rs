@@ -1,0 +1,229 @@
+//! Gate-level Hamming-distance comparators.
+//!
+//! SFLL-HDh needs two of these: the *cube stripping unit* compares the
+//! protected inputs against a hard-coded constant cube, and the
+//! *functionality restoration unit* compares them against the key inputs.
+//! Both assert their output exactly when the Hamming distance equals `h`.
+
+use crate::{GateKind, Netlist, NodeId};
+
+/// Builds a gate-level population counter over `bits` and returns the sum
+/// bits, least-significant first.
+///
+/// The counter is a chain of ripple-carry incrementers, which keeps the
+/// structure simple and the gate count close to what a synthesis tool would
+/// produce for the SFLL restoration unit.
+pub fn population_count(nl: &mut Netlist, bits: &[NodeId]) -> Vec<NodeId> {
+    let width = usize::BITS as usize - bits.len().leading_zeros() as usize;
+    let width = width.max(1);
+    let zero_name = nl.fresh_name("_hd_zero_");
+    let zero = nl.add_gate(zero_name, GateKind::Const0, &[]);
+    let mut sum: Vec<NodeId> = vec![zero; width];
+    for &bit in bits {
+        let mut carry = bit;
+        for s in sum.iter_mut() {
+            let new_s_name = nl.fresh_name("_hd_s_");
+            let new_s = nl.add_gate(new_s_name, GateKind::Xor, &[*s, carry]);
+            let new_c_name = nl.fresh_name("_hd_c_");
+            let new_c = nl.add_gate(new_c_name, GateKind::And, &[*s, carry]);
+            *s = new_s;
+            carry = new_c;
+        }
+    }
+    sum
+}
+
+/// Builds gates asserting that the number encoded by `sum_bits`
+/// (least-significant first) equals the constant `value`.
+pub fn equals_const(nl: &mut Netlist, sum_bits: &[NodeId], value: usize) -> NodeId {
+    let mut terms: Vec<NodeId> = Vec::with_capacity(sum_bits.len());
+    for (i, &bit) in sum_bits.iter().enumerate() {
+        if (value >> i) & 1 == 1 {
+            terms.push(bit);
+        } else {
+            let name = nl.fresh_name("_hd_eqn_");
+            terms.push(nl.add_gate(name, GateKind::Not, &[bit]));
+        }
+    }
+    match terms.len() {
+        0 => {
+            let name = nl.fresh_name("_hd_true_");
+            nl.add_gate(name, GateKind::Const1, &[])
+        }
+        1 => terms[0],
+        _ => {
+            let name = nl.fresh_name("_hd_eq_");
+            nl.add_gate(name, GateKind::And, &terms)
+        }
+    }
+}
+
+/// Builds gates computing `HD(xs, ys) == h` over two equal-width signal
+/// vectors and returns the output node.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or `h > xs.len()`.
+pub fn hamming_distance_equals(nl: &mut Netlist, xs: &[NodeId], ys: &[NodeId], h: usize) -> NodeId {
+    assert_eq!(xs.len(), ys.len(), "vector widths differ");
+    assert!(h <= xs.len(), "distance {h} exceeds width {}", xs.len());
+    let diffs: Vec<NodeId> = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let name = nl.fresh_name("_hd_d_");
+            nl.add_gate(name, GateKind::Xor, &[x, y])
+        })
+        .collect();
+    let sum = population_count(nl, &diffs);
+    equals_const(nl, &sum, h)
+}
+
+/// Builds gates computing `HD(xs, cube) == h` against a constant cube.
+///
+/// The constant is folded into the structure: a cube bit of `0` leaves the
+/// signal untouched, a cube bit of `1` inverts it (x XOR 1 = NOT x).  This is
+/// how the protected cube ends up "hard-coded" in the locked circuit, which
+/// is exactly the leakage the FALL attacks exploit.
+///
+/// # Panics
+///
+/// Panics if the widths differ or `h > xs.len()`.
+pub fn hamming_distance_equals_const(
+    nl: &mut Netlist,
+    xs: &[NodeId],
+    cube: &[bool],
+    h: usize,
+) -> NodeId {
+    assert_eq!(xs.len(), cube.len(), "vector widths differ");
+    assert!(h <= xs.len(), "distance {h} exceeds width {}", xs.len());
+    let diffs: Vec<NodeId> = xs
+        .iter()
+        .zip(cube)
+        .map(|(&x, &bit)| {
+            if bit {
+                let name = nl.fresh_name("_hd_d_");
+                nl.add_gate(name, GateKind::Not, &[x])
+            } else {
+                x
+            }
+        })
+        .collect();
+    let sum = population_count(nl, &diffs);
+    equals_const(nl, &sum, h)
+}
+
+/// Builds an equality comparator (`HD == 0`) between a signal vector and the
+/// key inputs: the TTLock functionality-restoration structure of AND over
+/// XNORs.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn equality_comparator(nl: &mut Netlist, xs: &[NodeId], ys: &[NodeId]) -> NodeId {
+    assert_eq!(xs.len(), ys.len(), "vector widths differ");
+    let eqs: Vec<NodeId> = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let name = nl.fresh_name("_eq_");
+            nl.add_gate(name, GateKind::Xnor, &[x, y])
+        })
+        .collect();
+    match eqs.len() {
+        0 => {
+            let name = nl.fresh_name("_eq_true_");
+            nl.add_gate(name, GateKind::Const1, &[])
+        }
+        1 => eqs[0],
+        _ => {
+            let name = nl.fresh_name("_eq_all_");
+            nl.add_gate(name, GateKind::And, &eqs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::pattern_to_bits;
+
+    fn hamming(a: u64, b: u64) -> u32 {
+        (a ^ b).count_ones()
+    }
+
+    #[test]
+    fn popcount_matches_reference() {
+        for n in 1..=6usize {
+            let mut nl = Netlist::new("pc");
+            let inputs: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+            let sum = population_count(&mut nl, &inputs);
+            for (i, &s) in sum.iter().enumerate() {
+                nl.add_output(format!("s{i}"), s);
+            }
+            for pattern in 0..(1u64 << n) {
+                let bits = pattern_to_bits(pattern, n);
+                let outs = nl.evaluate(&bits, &[]);
+                let got: u64 = outs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| (b as u64) << i)
+                    .sum();
+                assert_eq!(got, pattern.count_ones() as u64, "n={n} pattern={pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hd_equals_between_two_vectors() {
+        let n = 4;
+        for h in 0..=n {
+            let mut nl = Netlist::new("hd");
+            let xs: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+            let ys: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("y{i}"))).collect();
+            let out = hamming_distance_equals(&mut nl, &xs, &ys, h);
+            nl.add_output("eq", out);
+            for pattern in 0..(1u64 << (2 * n)) {
+                let bits = pattern_to_bits(pattern, 2 * n);
+                let got = nl.evaluate(&bits, &[])[0];
+                let x = pattern & 0xF;
+                let y = (pattern >> 4) & 0xF;
+                assert_eq!(got, hamming(x, y) as usize == h, "h={h} x={x:04b} y={y:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hd_equals_const_cube() {
+        let n = 5;
+        let cube = 0b10110u64;
+        let cube_bits = pattern_to_bits(cube, n);
+        for h in [0usize, 1, 2] {
+            let mut nl = Netlist::new("hdc");
+            let xs: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+            let out = hamming_distance_equals_const(&mut nl, &xs, &cube_bits, h);
+            nl.add_output("eq", out);
+            for pattern in 0..(1u64 << n) {
+                let bits = pattern_to_bits(pattern, n);
+                let got = nl.evaluate(&bits, &[])[0];
+                assert_eq!(got, hamming(pattern, cube) as usize == h);
+            }
+        }
+    }
+
+    #[test]
+    fn equality_comparator_matches() {
+        let n = 3;
+        let mut nl = Netlist::new("eq");
+        let xs: Vec<NodeId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let ks: Vec<NodeId> = (0..n).map(|i| nl.add_key_input(format!("k{i}"))).collect();
+        let out = equality_comparator(&mut nl, &xs, &ks);
+        nl.add_output("eq", out);
+        for xp in 0..(1u64 << n) {
+            for kp in 0..(1u64 << n) {
+                let got = nl.evaluate(&pattern_to_bits(xp, n), &pattern_to_bits(kp, n))[0];
+                assert_eq!(got, xp == kp);
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Gate-level cleanup passes: constant propagation, buffer/double-inverter
+//! sweeping and dead-logic removal.
+//!
+//! [`crate::strash`] already performs these implicitly by rebuilding the
+//! circuit as an AIG, but it also destroys the original gate vocabulary
+//! (everything becomes AND/NOT).  The passes in this module clean a netlist
+//! *in place*, preserving gate kinds — useful when inspecting locked designs
+//! or preparing them for `.bench` export.
+
+use std::collections::HashMap;
+
+use crate::{GateKind, Netlist, NodeId, NodeKind};
+
+/// Tri-state constant information about a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ConstInfo {
+    Zero,
+    One,
+    Unknown,
+}
+
+/// Rewrites the netlist by propagating constants, collapsing buffers and
+/// double inverters, and dropping logic not reachable from any output.
+///
+/// The returned netlist computes the same functions over the same inputs,
+/// key inputs and outputs, and is never larger than the input.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{GateKind, Netlist};
+/// use netlist::rewrite::simplify;
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let zero = nl.add_gate("zero", GateKind::Const0, &[]);
+/// let anded = nl.add_gate("anded", GateKind::And, &[a, zero]);
+/// let or = nl.add_gate("or", GateKind::Or, &[anded, a]);
+/// nl.add_output("y", or);
+/// let clean = simplify(&nl);
+/// // a & 0 = 0, 0 | a = a: the whole thing collapses onto the input.
+/// assert_eq!(clean.num_gates(), 0);
+/// assert_eq!(clean.evaluate(&[true], &[]), vec![true]);
+/// ```
+pub fn simplify(netlist: &Netlist) -> Netlist {
+    let constants = propagate_constants(netlist);
+
+    let mut out = Netlist::new(netlist.name());
+    // Maps old node ids to (new id, negated?) pairs; negation is resolved by
+    // materialising NOT gates on demand.
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut const_nodes: [Option<NodeId>; 2] = [None, None];
+
+    let reachable = reachable_from_outputs(netlist);
+
+    for (id, node) in netlist.iter() {
+        if !reachable[id.index()] {
+            continue;
+        }
+        match node.kind() {
+            NodeKind::Input => {
+                map.insert(id, out.add_input(node.name()));
+            }
+            NodeKind::KeyInput => {
+                map.insert(id, out.add_key_input(node.name()));
+            }
+            NodeKind::Gate { kind, fanins } => {
+                // Constant-valued gates are never materialised here; consumers
+                // create a shared constant driver on demand (so folded-away
+                // logic leaves no residue).
+                if constants[id.index()] != ConstInfo::Unknown {
+                    continue;
+                }
+                let mapped: Vec<NodeId> = fanins
+                    .iter()
+                    .filter(|f| {
+                        constants[f.index()] == ConstInfo::Unknown
+                            || matches!(kind, GateKind::Buf | GateKind::Not)
+                    })
+                    .map(|f| map_or_constant(&mut out, &mut const_nodes, &map, &constants, *f))
+                    .collect();
+                let replacement = rebuild_gate(
+                    &mut out,
+                    &mut const_nodes,
+                    node.name(),
+                    *kind,
+                    &mapped,
+                    fanins,
+                    &constants,
+                    &map,
+                );
+                map.insert(id, replacement);
+            }
+        }
+    }
+
+    for (name, driver) in netlist.outputs() {
+        let mapped = match constants[driver.index()] {
+            ConstInfo::Zero => constant_node(&mut out, &mut const_nodes, false),
+            ConstInfo::One => constant_node(&mut out, &mut const_nodes, true),
+            ConstInfo::Unknown => map[driver],
+        };
+        out.add_output(name.clone(), mapped);
+    }
+    out
+}
+
+/// Forward constant propagation over the whole netlist.
+fn propagate_constants(netlist: &Netlist) -> Vec<ConstInfo> {
+    let mut info = vec![ConstInfo::Unknown; netlist.num_nodes()];
+    for (id, node) in netlist.iter() {
+        let NodeKind::Gate { kind, fanins } = node.kind() else {
+            continue;
+        };
+        let fanin_info: Vec<ConstInfo> = fanins.iter().map(|f| info[f.index()]).collect();
+        info[id.index()] = match kind {
+            GateKind::Const0 => ConstInfo::Zero,
+            GateKind::Const1 => ConstInfo::One,
+            GateKind::Buf => fanin_info[0],
+            GateKind::Not => match fanin_info[0] {
+                ConstInfo::Zero => ConstInfo::One,
+                ConstInfo::One => ConstInfo::Zero,
+                ConstInfo::Unknown => ConstInfo::Unknown,
+            },
+            GateKind::And | GateKind::Nand => {
+                let any_zero = fanin_info.iter().any(|&c| c == ConstInfo::Zero);
+                let all_one = fanin_info.iter().all(|&c| c == ConstInfo::One);
+                constant_for(*kind, any_zero, all_one)
+            }
+            GateKind::Or | GateKind::Nor => {
+                let any_one = fanin_info.iter().any(|&c| c == ConstInfo::One);
+                let all_zero = fanin_info.iter().all(|&c| c == ConstInfo::Zero);
+                // OR is "false unless some input is one"; reuse the AND helper
+                // with the roles of the dominating / identity values swapped.
+                match (*kind, any_one, all_zero) {
+                    (GateKind::Or, true, _) => ConstInfo::One,
+                    (GateKind::Or, _, true) => ConstInfo::Zero,
+                    (GateKind::Nor, true, _) => ConstInfo::Zero,
+                    (GateKind::Nor, _, true) => ConstInfo::One,
+                    _ => ConstInfo::Unknown,
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                if fanin_info.iter().all(|&c| c != ConstInfo::Unknown) {
+                    let parity = fanin_info.iter().filter(|&&c| c == ConstInfo::One).count() % 2 == 1;
+                    let value = if *kind == GateKind::Xor { parity } else { !parity };
+                    if value {
+                        ConstInfo::One
+                    } else {
+                        ConstInfo::Zero
+                    }
+                } else {
+                    ConstInfo::Unknown
+                }
+            }
+        };
+    }
+    info
+}
+
+fn constant_for(kind: GateKind, any_zero: bool, all_one: bool) -> ConstInfo {
+    match (kind, any_zero, all_one) {
+        (GateKind::And, true, _) => ConstInfo::Zero,
+        (GateKind::And, _, true) => ConstInfo::One,
+        (GateKind::Nand, true, _) => ConstInfo::One,
+        (GateKind::Nand, _, true) => ConstInfo::Zero,
+        _ => ConstInfo::Unknown,
+    }
+}
+
+fn reachable_from_outputs(netlist: &Netlist) -> Vec<bool> {
+    let mut reachable = vec![false; netlist.num_nodes()];
+    let mut stack: Vec<NodeId> = netlist.outputs().iter().map(|&(_, id)| id).collect();
+    while let Some(id) = stack.pop() {
+        if reachable[id.index()] {
+            continue;
+        }
+        reachable[id.index()] = true;
+        for &fanin in netlist.node(id).fanins() {
+            stack.push(fanin);
+        }
+    }
+    // Keep all inputs so the interface stays identical.
+    for &id in netlist.inputs().iter().chain(netlist.key_inputs()) {
+        reachable[id.index()] = true;
+    }
+    reachable
+}
+
+fn constant_node(out: &mut Netlist, cache: &mut [Option<NodeId>; 2], value: bool) -> NodeId {
+    let slot = usize::from(value);
+    if let Some(id) = cache[slot] {
+        return id;
+    }
+    let name = out.fresh_name(if value { "_const1_" } else { "_const0_" });
+    let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+    let id = out.add_gate(name, kind, &[]);
+    cache[slot] = Some(id);
+    id
+}
+
+fn map_or_constant(
+    out: &mut Netlist,
+    cache: &mut [Option<NodeId>; 2],
+    map: &HashMap<NodeId, NodeId>,
+    constants: &[ConstInfo],
+    id: NodeId,
+) -> NodeId {
+    match constants[id.index()] {
+        ConstInfo::Zero => constant_node(out, cache, false),
+        ConstInfo::One => constant_node(out, cache, true),
+        ConstInfo::Unknown => map[&id],
+    }
+}
+
+/// Rebuilds one gate, applying identity-element simplifications where
+/// possible (dropping constant fanins of AND/OR, collapsing buffers).
+#[allow(clippy::too_many_arguments)]
+fn rebuild_gate(
+    out: &mut Netlist,
+    cache: &mut [Option<NodeId>; 2],
+    name: &str,
+    kind: GateKind,
+    mapped_unknown: &[NodeId],
+    original_fanins: &[NodeId],
+    constants: &[ConstInfo],
+    map: &HashMap<NodeId, NodeId>,
+) -> NodeId {
+    match kind {
+        GateKind::And | GateKind::Or => {
+            // Constant fanins that are the identity element can be dropped.
+            if mapped_unknown.len() >= 2 {
+                out.add_gate(name, kind, mapped_unknown)
+            } else if mapped_unknown.len() == 1 {
+                mapped_unknown[0]
+            } else {
+                // All fanins were identity constants: result is the identity.
+                constant_node(out, cache, kind == GateKind::And)
+            }
+        }
+        GateKind::Buf => {
+            map_or_constant(out, cache, map, constants, original_fanins[0])
+        }
+        _ => {
+            // For other gates keep every fanin (materialising constants).
+            let full: Vec<NodeId> = original_fanins
+                .iter()
+                .map(|&f| map_or_constant(out, cache, map, constants, f))
+                .collect();
+            out.add_gate(name, kind, &full)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::pattern_to_bits;
+
+    fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+        let n = a.num_inputs() + a.num_key_inputs();
+        (0..(1u64 << n)).all(|pattern| {
+            let bits = pattern_to_bits(pattern, n);
+            let (ins, keys) = bits.split_at(a.num_inputs());
+            a.evaluate(ins, keys) == b.evaluate(ins, keys)
+        })
+    }
+
+    #[test]
+    fn constants_propagate_through_and_or() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let one = nl.add_gate("one", GateKind::Const1, &[]);
+        let and1 = nl.add_gate("and1", GateKind::And, &[a, one]);
+        let or1 = nl.add_gate("or1", GateKind::Or, &[and1, b]);
+        nl.add_output("y", or1);
+        let clean = simplify(&nl);
+        assert!(equivalent(&nl, &clean));
+        assert!(clean.num_gates() < nl.num_gates());
+    }
+
+    #[test]
+    fn dead_logic_is_removed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let used = nl.add_gate("used", GateKind::And, &[a, b]);
+        let _dead = nl.add_gate("dead", GateKind::Xor, &[a, b]);
+        nl.add_output("y", used);
+        let clean = simplify(&nl);
+        assert_eq!(clean.num_gates(), 1);
+        assert!(equivalent(&nl, &clean));
+    }
+
+    #[test]
+    fn xor_with_constants_folds() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let zero = nl.add_gate("zero", GateKind::Const0, &[]);
+        let one = nl.add_gate("one", GateKind::Const1, &[]);
+        let x = nl.add_gate("x", GateKind::Xor, &[zero, one]);
+        let y = nl.add_gate("y", GateKind::And, &[a, x]);
+        nl.add_output("y", y);
+        let clean = simplify(&nl);
+        assert!(equivalent(&nl, &clean));
+        // x folds to constant 1, so y = a & 1 = a.
+        assert_eq!(clean.num_gates(), 0);
+    }
+
+    #[test]
+    fn interface_is_preserved_even_for_unused_inputs() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let _unused = nl.add_input("unused");
+        let k = nl.add_key_input("k0");
+        let g = nl.add_gate("g", GateKind::Xor, &[a, k]);
+        nl.add_output("g", g);
+        let clean = simplify(&nl);
+        assert_eq!(clean.num_inputs(), 2);
+        assert_eq!(clean.num_key_inputs(), 1);
+        assert!(equivalent(&nl, &clean));
+    }
+
+    #[test]
+    fn random_circuits_stay_equivalent_and_never_grow() {
+        for seed in 0..8u64 {
+            let nl = crate::random::generate(
+                &crate::random::RandomCircuitSpec::new("rw", 8, 3, 60).with_seed(seed),
+            );
+            let clean = simplify(&nl);
+            assert!(clean.num_gates() <= nl.num_gates());
+            assert!(equivalent(&nl, &clean), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn constant_output_is_allowed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let na = nl.add_gate("na", GateKind::Not, &[a]);
+        let z = nl.add_gate("z", GateKind::And, &[a, na]);
+        nl.add_output("z", z);
+        let clean = simplify(&nl);
+        assert!(equivalent(&nl, &clean));
+    }
+}

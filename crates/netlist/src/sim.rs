@@ -1,0 +1,248 @@
+//! Single-pattern and 64-way parallel simulation.
+
+use crate::{Netlist, NetlistError, NodeId, NodeKind};
+
+impl Netlist {
+    /// Evaluates the circuit for a single input pattern.
+    ///
+    /// `inputs[i]` is the value of the `i`-th primary input and `keys[i]` the
+    /// value of the `i`-th key input (both in declaration order).  Returns the
+    /// output values in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus widths do not match the circuit.  Use
+    /// [`Netlist::try_evaluate`] for a fallible version.
+    pub fn evaluate(&self, inputs: &[bool], keys: &[bool]) -> Vec<bool> {
+        self.try_evaluate(inputs, keys)
+            .expect("stimulus width mismatch")
+    }
+
+    /// Fallible version of [`Netlist::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::StimulusWidth`] if the stimulus widths do not
+    /// match the number of primary or key inputs.
+    pub fn try_evaluate(&self, inputs: &[bool], keys: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let values = self.node_values(inputs, keys)?;
+        Ok(self.outputs().iter().map(|&(_, id)| values[id.index()]).collect())
+    }
+
+    /// Evaluates the circuit and returns the value of *every* node, indexed by
+    /// [`NodeId::index`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::StimulusWidth`] if the stimulus widths do not
+    /// match the number of primary or key inputs.
+    pub fn node_values(&self, inputs: &[bool], keys: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if inputs.len() != self.num_inputs() {
+            return Err(NetlistError::StimulusWidth {
+                expected: self.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        if keys.len() != self.num_key_inputs() {
+            return Err(NetlistError::StimulusWidth {
+                expected: self.num_key_inputs(),
+                got: keys.len(),
+            });
+        }
+        let mut values = vec![false; self.num_nodes()];
+        for (pos, &id) in self.inputs().iter().enumerate() {
+            values[id.index()] = inputs[pos];
+        }
+        for (pos, &id) in self.key_inputs().iter().enumerate() {
+            values[id.index()] = keys[pos];
+        }
+        let mut fanin_values: Vec<bool> = Vec::with_capacity(8);
+        for (id, node) in self.iter() {
+            if let NodeKind::Gate { kind, fanins } = node.kind() {
+                fanin_values.clear();
+                fanin_values.extend(fanins.iter().map(|f| values[f.index()]));
+                values[id.index()] = kind.evaluate(&fanin_values);
+            }
+        }
+        Ok(values)
+    }
+
+    /// Evaluates 64 input patterns at once (one pattern per bit position).
+    ///
+    /// `inputs[i]` / `keys[i]` hold the 64 values of the `i`-th primary / key
+    /// input.  Returns one word per output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::StimulusWidth`] if the stimulus widths do not
+    /// match the number of primary or key inputs.
+    pub fn evaluate_words(&self, inputs: &[u64], keys: &[u64]) -> Result<Vec<u64>, NetlistError> {
+        let values = self.node_words(inputs, keys)?;
+        Ok(self.outputs().iter().map(|&(_, id)| values[id.index()]).collect())
+    }
+
+    /// 64-way parallel version of [`Netlist::node_values`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::StimulusWidth`] if the stimulus widths do not
+    /// match the number of primary or key inputs.
+    pub fn node_words(&self, inputs: &[u64], keys: &[u64]) -> Result<Vec<u64>, NetlistError> {
+        if inputs.len() != self.num_inputs() {
+            return Err(NetlistError::StimulusWidth {
+                expected: self.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        if keys.len() != self.num_key_inputs() {
+            return Err(NetlistError::StimulusWidth {
+                expected: self.num_key_inputs(),
+                got: keys.len(),
+            });
+        }
+        let mut values = vec![0u64; self.num_nodes()];
+        for (pos, &id) in self.inputs().iter().enumerate() {
+            values[id.index()] = inputs[pos];
+        }
+        for (pos, &id) in self.key_inputs().iter().enumerate() {
+            values[id.index()] = keys[pos];
+        }
+        let mut fanin_values: Vec<u64> = Vec::with_capacity(8);
+        for (id, node) in self.iter() {
+            if let NodeKind::Gate { kind, fanins } = node.kind() {
+                fanin_values.clear();
+                fanin_values.extend(fanins.iter().map(|f| values[f.index()]));
+                values[id.index()] = kind.evaluate_words(&fanin_values);
+            }
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the function of a single node given values for (a superset
+    /// of) its support.  Inputs not mentioned default to `false`.
+    ///
+    /// This is useful for exhaustively enumerating the local function of a
+    /// node whose support is small (for example comparator identification).
+    pub fn evaluate_node(&self, node: NodeId, input_values: &[(NodeId, bool)]) -> bool {
+        let mut inputs = vec![false; self.num_inputs()];
+        let mut keys = vec![false; self.num_key_inputs()];
+        for &(id, value) in input_values {
+            if let Some(pos) = self.inputs().iter().position(|&x| x == id) {
+                inputs[pos] = value;
+            } else if let Some(pos) = self.key_inputs().iter().position(|&x| x == id) {
+                keys[pos] = value;
+            }
+        }
+        let values = self
+            .node_values(&inputs, &keys)
+            .expect("widths are constructed to match");
+        values[node.index()]
+    }
+}
+
+/// Converts an integer pattern into a little-endian bit vector of width `n`.
+///
+/// Bit `i` of `pattern` becomes element `i` of the result.
+pub fn pattern_to_bits(pattern: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| (pattern >> i) & 1 == 1).collect()
+}
+
+/// Converts a bit vector into an integer pattern (inverse of
+/// [`pattern_to_bits`]).
+pub fn bits_to_pattern(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn full_adder() -> Netlist {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let s1 = nl.add_gate("s1", GateKind::Xor, &[a, b]);
+        let sum = nl.add_gate("sum", GateKind::Xor, &[s1, cin]);
+        let c1 = nl.add_gate("c1", GateKind::And, &[a, b]);
+        let c2 = nl.add_gate("c2", GateKind::And, &[s1, cin]);
+        let cout = nl.add_gate("cout", GateKind::Or, &[c1, c2]);
+        nl.add_output("sum", sum);
+        nl.add_output("cout", cout);
+        nl
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder();
+        for pattern in 0..8u64 {
+            let bits = pattern_to_bits(pattern, 3);
+            let outs = nl.evaluate(&bits, &[]);
+            let expected_sum = bits.iter().filter(|&&b| b).count();
+            assert_eq!(outs[0], expected_sum % 2 == 1, "sum for {pattern:03b}");
+            assert_eq!(outs[1], expected_sum >= 2, "cout for {pattern:03b}");
+        }
+    }
+
+    #[test]
+    fn word_simulation_matches_scalar() {
+        let nl = full_adder();
+        // Pack all 8 patterns into the low 8 bits of each word.
+        let mut inputs = vec![0u64; 3];
+        for pattern in 0..8u64 {
+            for (i, word) in inputs.iter_mut().enumerate() {
+                *word |= ((pattern >> i) & 1) << pattern;
+            }
+        }
+        let outs = nl.evaluate_words(&inputs, &[]).expect("widths match");
+        for pattern in 0..8u64 {
+            let bits = pattern_to_bits(pattern, 3);
+            let scalar = nl.evaluate(&bits, &[]);
+            assert_eq!((outs[0] >> pattern) & 1 == 1, scalar[0]);
+            assert_eq!((outs[1] >> pattern) & 1 == 1, scalar[1]);
+        }
+    }
+
+    #[test]
+    fn stimulus_width_is_checked() {
+        let nl = full_adder();
+        assert!(matches!(
+            nl.try_evaluate(&[true], &[]),
+            Err(NetlistError::StimulusWidth { expected: 3, got: 1 })
+        ));
+        assert!(nl.evaluate_words(&[0, 0], &[]).is_err());
+    }
+
+    #[test]
+    fn evaluate_node_uses_defaults() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate("g", GateKind::Or, &[a, b]);
+        nl.add_output("g", g);
+        assert!(!nl.evaluate_node(g, &[]));
+        assert!(nl.evaluate_node(g, &[(a, true)]));
+        assert!(nl.evaluate_node(g, &[(b, true)]));
+    }
+
+    #[test]
+    fn pattern_round_trip() {
+        for p in [0u64, 1, 5, 0b1011, 63] {
+            assert_eq!(bits_to_pattern(&pattern_to_bits(p, 6)), p);
+        }
+    }
+
+    #[test]
+    fn key_inputs_participate() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let k = nl.add_key_input("k");
+        let g = nl.add_gate("g", GateKind::Xor, &[a, k]);
+        nl.add_output("g", g);
+        assert_eq!(nl.evaluate(&[true], &[true]), vec![false]);
+        assert_eq!(nl.evaluate(&[true], &[false]), vec![true]);
+    }
+}

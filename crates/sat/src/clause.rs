@@ -1,0 +1,127 @@
+//! Clause storage for the CDCL solver.
+
+use crate::Lit;
+
+/// Index of a clause inside the [`ClauseDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub(crate) struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single clause plus solver metadata.
+#[derive(Clone, Debug)]
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) deleted: bool,
+    pub(crate) activity: f64,
+    /// Literal block distance computed when the clause was learnt.
+    pub(crate) lbd: u32,
+}
+
+impl Clause {
+    pub(crate) fn new(lits: Vec<Lit>, learnt: bool) -> Clause {
+        Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.lits.len()
+    }
+}
+
+/// Arena of clauses.  Deleted clauses are tombstoned so that `ClauseRef`s stay
+/// stable; the watch lists drop references lazily.
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<Clause>,
+    num_learnt: usize,
+}
+
+impl ClauseDb {
+    pub(crate) fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    pub(crate) fn push(&mut self, clause: Clause) -> ClauseRef {
+        if clause.learnt {
+            self.num_learnt += 1;
+        }
+        let idx = self.clauses.len() as u32;
+        self.clauses.push(clause);
+        ClauseRef(idx)
+    }
+
+    pub(crate) fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref.index()]
+    }
+
+    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref.index()]
+    }
+
+    pub(crate) fn delete(&mut self, cref: ClauseRef) {
+        let clause = &mut self.clauses[cref.index()];
+        if !clause.deleted {
+            if clause.learnt {
+                self.num_learnt -= 1;
+            }
+            clause.deleted = true;
+            clause.lits.clear();
+            clause.lits.shrink_to_fit();
+        }
+    }
+
+    pub(crate) fn num_learnt(&self) -> usize {
+        self.num_learnt
+    }
+
+    pub(crate) fn learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn lit(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut db = ClauseDb::new();
+        let r = db.push(Clause::new(vec![lit(0), lit(1)], false));
+        assert_eq!(db.get(r).len(), 2);
+        assert!(!db.get(r).learnt);
+    }
+
+    #[test]
+    fn learnt_counting_and_delete() {
+        let mut db = ClauseDb::new();
+        let a = db.push(Clause::new(vec![lit(0)], true));
+        let _b = db.push(Clause::new(vec![lit(1)], true));
+        assert_eq!(db.num_learnt(), 2);
+        db.delete(a);
+        assert_eq!(db.num_learnt(), 1);
+        // Double delete is a no-op.
+        db.delete(a);
+        assert_eq!(db.num_learnt(), 1);
+        assert_eq!(db.learnt_refs().count(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! A plain container for CNF formulas.
+
+use crate::{Lit, Var};
+
+/// A formula in conjunctive normal form: a conjunction of clauses, each clause
+/// being a disjunction of literals.
+///
+/// `CnfFormula` is a passive container; it performs no propagation or
+/// simplification.  Use [`crate::Solver`] to decide satisfiability.
+///
+/// # Example
+///
+/// ```
+/// use sat::{CnfFormula, Lit, Var};
+///
+/// let mut cnf = CnfFormula::new();
+/// let a = cnf.new_var();
+/// let b = cnf.new_var();
+/// cnf.add_clause([Lit::positive(a), Lit::negative(b)]);
+/// assert_eq!(cnf.num_clauses(), 1);
+/// assert_eq!(cnf.num_vars(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula with no variables and no clauses.
+    pub fn new() -> CnfFormula {
+        CnfFormula::default()
+    }
+
+    /// Creates an empty formula that already declares `num_vars` variables.
+    pub fn with_vars(num_vars: usize) -> CnfFormula {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        var
+    }
+
+    /// Returns the number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Returns the number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns `true` if the formula has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Adds a clause.  Variables referenced by the clause are declared
+    /// automatically if necessary.
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for lit in &clause {
+            if lit.var().index() >= self.num_vars {
+                self.num_vars = lit.var().index() + 1;
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Returns an iterator over the clauses.
+    pub fn iter(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses.iter().map(|c| c.as_slice())
+    }
+
+    /// Returns the clauses as a slice of vectors.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a full assignment.
+    ///
+    /// `assignment[i]` is the value of variable `i`.  Returns `true` if every
+    /// clause has at least one satisfied literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than [`CnfFormula::num_vars`].
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        assert!(
+            assignment.len() >= self.num_vars,
+            "assignment covers {} vars but formula has {}",
+            assignment.len(),
+            self.num_vars
+        );
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| assignment[lit.var().index()] == lit.polarity())
+        })
+    }
+
+    /// Appends all clauses of `other`, keeping variable identities.
+    pub fn extend_from(&mut self, other: &CnfFormula) {
+        self.num_vars = self.num_vars.max(other.num_vars);
+        self.clauses.extend(other.clauses.iter().cloned());
+    }
+}
+
+impl FromIterator<Vec<Lit>> for CnfFormula {
+    fn from_iter<T: IntoIterator<Item = Vec<Lit>>>(iter: T) -> Self {
+        let mut cnf = CnfFormula::new();
+        for clause in iter {
+            cnf.add_clause(clause);
+        }
+        cnf
+    }
+}
+
+impl Extend<Vec<Lit>> for CnfFormula {
+    fn extend<T: IntoIterator<Item = Vec<Lit>>>(&mut self, iter: T) {
+        for clause in iter {
+            self.add_clause(clause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(index: usize, negated: bool) -> Lit {
+        Lit::new(Var::from_index(index), negated)
+    }
+
+    #[test]
+    fn add_clause_grows_vars() {
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause([lit(4, false)]);
+        assert_eq!(cnf.num_vars(), 5);
+    }
+
+    #[test]
+    fn evaluate_full_assignment() {
+        let mut cnf = CnfFormula::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::positive(a), Lit::positive(b)]);
+        cnf.add_clause([Lit::negative(a)]);
+        assert!(cnf.evaluate(&[false, true]));
+        assert!(!cnf.evaluate(&[true, false]));
+        assert!(!cnf.evaluate(&[false, false]));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let clauses = vec![vec![lit(0, false)], vec![lit(1, true), lit(0, true)]];
+        let cnf: CnfFormula = clauses.into_iter().collect();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.num_vars(), 2);
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = CnfFormula::with_vars(2);
+        a.add_clause([lit(0, false)]);
+        let mut b = CnfFormula::with_vars(4);
+        b.add_clause([lit(3, true)]);
+        a.extend_from(&b);
+        assert_eq!(a.num_vars(), 4);
+        assert_eq!(a.num_clauses(), 2);
+    }
+}

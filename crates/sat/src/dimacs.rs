@@ -1,0 +1,163 @@
+//! DIMACS CNF reading and writing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CnfFormula, Lit, Var};
+
+/// An error produced while parsing a DIMACS CNF document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl ParseDimacsError {
+    fn new(line: usize, message: impl Into<String>) -> ParseDimacsError {
+        ParseDimacsError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line number where the error occurred.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses a DIMACS CNF document into a [`CnfFormula`].
+///
+/// The `p cnf <vars> <clauses>` header is optional; comment lines starting
+/// with `c` are ignored.  Clauses may span multiple lines and are terminated
+/// by `0`.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] if a token is not an integer or a clause is
+/// left unterminated.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cnf = sat::parse_dimacs("p cnf 2 2\n1 -2 0\n2 0\n")?;
+/// assert_eq!(cnf.num_clauses(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<CnfFormula, ParseDimacsError> {
+    let mut cnf = CnfFormula::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut declared_vars = 0usize;
+
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let mut parts = trimmed.split_whitespace();
+            let _p = parts.next();
+            let format = parts.next().unwrap_or("");
+            if format != "cnf" {
+                return Err(ParseDimacsError::new(line_no, "expected `p cnf` header"));
+            }
+            declared_vars = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::new(line_no, "bad variable count"))?;
+            continue;
+        }
+        for token in trimmed.split_whitespace() {
+            let value: i64 = token
+                .parse()
+                .map_err(|_| ParseDimacsError::new(line_no, format!("bad literal `{token}`")))?;
+            if value == 0 {
+                cnf.add_clause(current.drain(..));
+            } else {
+                let var = Var::from_index(value.unsigned_abs() as usize - 1);
+                current.push(Lit::new(var, value < 0));
+            }
+        }
+    }
+
+    if !current.is_empty() {
+        return Err(ParseDimacsError::new(
+            text.lines().count(),
+            "unterminated clause at end of input",
+        ));
+    }
+    while cnf.num_vars() < declared_vars {
+        cnf.new_var();
+    }
+    Ok(cnf)
+}
+
+/// Serialises a [`CnfFormula`] in DIMACS CNF format.
+///
+/// # Example
+///
+/// ```
+/// use sat::{CnfFormula, Lit};
+///
+/// let mut cnf = CnfFormula::new();
+/// let a = cnf.new_var();
+/// cnf.add_clause([Lit::negative(a)]);
+/// let text = sat::write_dimacs(&cnf);
+/// assert!(text.starts_with("p cnf 1 1"));
+/// ```
+pub fn write_dimacs(cnf: &CnfFormula) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", cnf.num_vars(), cnf.num_clauses()));
+    for clause in cnf.iter() {
+        for lit in clause {
+            out.push_str(&lit.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n3 0\n";
+        let cnf = parse_dimacs(text).expect("parse");
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        let rewritten = write_dimacs(&cnf);
+        let reparsed = parse_dimacs(&rewritten).expect("reparse");
+        assert_eq!(cnf, reparsed);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_dimacs("1 x 0").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        assert!(parse_dimacs("1 2 3").is_err());
+    }
+
+    #[test]
+    fn multi_line_clause() {
+        let cnf = parse_dimacs("1 2\n-3 0\n").expect("parse");
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.num_vars(), 3);
+    }
+}

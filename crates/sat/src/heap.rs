@@ -1,0 +1,150 @@
+//! Indexed binary max-heap ordered by variable activity (VSIDS).
+
+use crate::Var;
+
+/// A binary max-heap over variables keyed by an external activity array.
+///
+/// Supports `decrease/increase key` via [`VarOrderHeap::update`] because each
+/// variable's heap position is tracked in `positions`.
+#[derive(Debug, Default)]
+pub(crate) struct VarOrderHeap {
+    heap: Vec<Var>,
+    /// `positions[v] == usize::MAX` when the variable is not in the heap.
+    positions: Vec<usize>,
+}
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+impl VarOrderHeap {
+    pub(crate) fn new() -> VarOrderHeap {
+        VarOrderHeap::default()
+    }
+
+    pub(crate) fn grow_to(&mut self, num_vars: usize) {
+        if self.positions.len() < num_vars {
+            self.positions.resize(num_vars, NOT_IN_HEAP);
+        }
+    }
+
+    pub(crate) fn contains(&self, var: Var) -> bool {
+        self.positions
+            .get(var.index())
+            .map_or(false, |&p| p != NOT_IN_HEAP)
+    }
+
+    pub(crate) fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow_to(var.index() + 1);
+        if self.contains(var) {
+            return;
+        }
+        let pos = self.heap.len();
+        self.heap.push(var);
+        self.positions[var.index()] = pos;
+        self.sift_up(pos, activity);
+    }
+
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.positions[top.index()] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores the heap property for `var` after its activity increased.
+    pub(crate) fn update(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&pos) = self.positions.get(var.index()) {
+            if pos != NOT_IN_HEAP {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut largest = pos;
+            if left < self.heap.len()
+                && activity[self.heap[left].index()] > activity[self.heap[largest].index()]
+            {
+                largest = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right].index()] > activity[self.heap[largest].index()]
+            {
+                largest = right;
+            }
+            if largest == pos {
+                break;
+            }
+            self.swap(pos, largest);
+            pos = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.positions[self.heap[a].index()] = a;
+        self.positions[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..activity.len() {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn update_after_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.update(Var::from_index(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let activity = vec![1.0];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+        assert!(heap.pop_max(&activity).is_none());
+        assert!(!heap.contains(Var::from_index(0)));
+    }
+}

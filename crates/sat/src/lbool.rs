@@ -1,0 +1,76 @@
+//! Three-valued Booleans used for partial assignments.
+
+/// A three-valued Boolean: true, false, or unassigned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// The variable is assigned true.
+    True,
+    /// The variable is assigned false.
+    False,
+    /// The variable is unassigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a concrete Boolean into an [`LBool`].
+    #[inline]
+    pub fn from_bool(value: bool) -> LBool {
+        if value {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns the concrete Boolean value, or `None` if unassigned.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Returns `true` if this value is assigned (not [`LBool::Undef`]).
+    #[inline]
+    pub fn is_assigned(self) -> bool {
+        self != LBool::Undef
+    }
+
+    /// Logical negation; `Undef` stays `Undef`.
+    #[inline]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        assert_eq!(LBool::from_bool(true).to_bool(), Some(true));
+        assert_eq!(LBool::from_bool(false).to_bool(), Some(false));
+        assert_eq!(LBool::Undef.to_bool(), None);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::False.negate(), LBool::True);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+    }
+
+    #[test]
+    fn default_is_undef() {
+        assert_eq!(LBool::default(), LBool::Undef);
+        assert!(!LBool::default().is_assigned());
+    }
+}

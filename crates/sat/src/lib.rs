@@ -1,0 +1,86 @@
+//! A from-scratch CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! This crate provides the Boolean reasoning engine used throughout the FALL
+//! attacks reproduction.  It plays the role that Lingeling plays in the
+//! original paper: a sound and complete solver with incremental solving under
+//! assumptions.
+//!
+//! # Features
+//!
+//! * Two-watched-literal unit propagation.
+//! * First-UIP conflict analysis with clause learning and non-chronological
+//!   backjumping.
+//! * VSIDS variable activities with phase saving.
+//! * Luby restarts and learnt-clause database reduction.
+//! * Incremental solving under assumptions ([`Solver::solve_with`]).
+//! * Optional conflict budgets so callers can impose timeouts
+//!   ([`Solver::set_conflict_budget`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sat::{Solver, Lit, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! // (a | b) & (!a | b) forces b = true.
+//! solver.add_clause([Lit::positive(a), Lit::positive(b)]);
+//! solver.add_clause([Lit::negative(a), Lit::positive(b)]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(Lit::positive(b)), Some(true));
+//! ```
+
+#![deny(missing_docs)]
+
+mod clause;
+mod cnf;
+mod dimacs;
+mod heap;
+mod lbool;
+mod lit;
+mod luby;
+mod solver;
+
+pub use cnf::CnfFormula;
+pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
+pub use lbool::LBool;
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(a)), Some(true));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a)]);
+        s.add_clause([Lit::negative(a)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        s.add_clause([]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,42 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (1-based) of the Luby sequence:
+/// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+///
+/// The solver restarts after `base * luby(i)` conflicts for the `i`-th
+/// restart, which is the standard strategy from MiniSat.
+pub(crate) fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence that contains index i, and the index of i
+    // within that subsequence.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 0..200 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+}

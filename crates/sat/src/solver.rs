@@ -1,0 +1,876 @@
+//! The CDCL solver.
+
+use crate::clause::{Clause, ClauseDb, ClauseRef};
+use crate::heap::VarOrderHeap;
+use crate::luby::luby;
+use crate::{CnfFormula, LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; query it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    Unsat,
+    /// The conflict or propagation budget was exhausted before a result.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Returns `true` for [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+
+    /// Returns `true` for [`SolveResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == SolveResult::Unsat
+    }
+}
+
+/// Counters describing the work performed by a solver instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of `solve`/`solve_with` invocations.
+    pub solves: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver with incremental solving under assumptions.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    num_vars: usize,
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    phase: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarOrderHeap,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<LBool>,
+    assumptions: Vec<Lit>,
+    conflict_budget: Option<u64>,
+    propagation_budget: Option<u64>,
+    budget_conflicts_start: u64,
+    budget_propagations_start: u64,
+    max_learnts: f64,
+    stats: SolverStats,
+    num_problem_clauses: usize,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESTART_BASE: u64 = 100;
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            max_learnts: 1000.0,
+            db: ClauseDb::new(),
+            order: VarOrderHeap::new(),
+            ..Solver::default()
+        }
+    }
+
+    /// Creates a solver preloaded with all clauses of `cnf`.
+    pub fn from_cnf(cnf: &CnfFormula) -> Solver {
+        let mut solver = Solver::new();
+        solver.ensure_vars(cnf.num_vars());
+        for clause in cnf.iter() {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.order.grow_to(self.num_vars);
+        self.order.insert(var, &self.activity);
+        var
+    }
+
+    /// Ensures at least `n` variables exist, allocating as needed.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.num_vars < n {
+            self.new_var();
+        }
+    }
+
+    /// Returns the number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Returns the number of problem (non-learnt) clauses added so far.
+    pub fn num_clauses(&self) -> usize {
+        self.num_problem_clauses
+    }
+
+    /// Returns the work counters accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        let mut stats = self.stats;
+        stats.learnt_clauses = self.db.num_learnt() as u64;
+        stats
+    }
+
+    /// Limits the number of conflicts the *next* solve call may spend.
+    ///
+    /// When the budget is exhausted, [`Solver::solve`] returns
+    /// [`SolveResult::Unknown`].  Pass `None` to remove the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Limits the number of propagations the *next* solve call may spend.
+    pub fn set_propagation_budget(&mut self, budget: Option<u64>) {
+        self.propagation_budget = budget;
+    }
+
+    /// Adds a clause over already-created variables.
+    ///
+    /// Duplicate literals are removed and tautological clauses are ignored.
+    /// Adding the empty clause makes the solver permanently unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable that was never created.
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return;
+        }
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for lit in &clause {
+            assert!(
+                lit.var().index() < self.num_vars,
+                "literal {lit} references unknown variable"
+            );
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        // Drop clauses that are tautological or already satisfied at level 0;
+        // drop literals already false at level 0.
+        let mut simplified: Vec<Lit> = Vec::with_capacity(clause.len());
+        let mut satisfied = false;
+        for (i, &lit) in clause.iter().enumerate() {
+            if i + 1 < clause.len() && clause[i + 1] == !lit {
+                satisfied = true;
+                break;
+            }
+            match self.lit_value(lit) {
+                LBool::True if self.level[lit.var().index()] == 0 => {
+                    satisfied = true;
+                    break;
+                }
+                LBool::False if self.level[lit.var().index()] == 0 => continue,
+                _ => simplified.push(lit),
+            }
+        }
+        if satisfied {
+            return;
+        }
+        self.num_problem_clauses += 1;
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                if !self.enqueue_checked(simplified[0], None) || self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let cref = self.db.push(Clause::new(simplified, false));
+                self.attach_clause(cref);
+            }
+        }
+    }
+
+    /// Adds every clause of a [`CnfFormula`], creating variables as needed.
+    pub fn add_formula(&mut self, cnf: &CnfFormula) {
+        self.ensure_vars(cnf.num_vars());
+        for clause in cnf.iter() {
+            self.add_clause(clause.iter().copied());
+        }
+    }
+
+    /// Decides satisfiability of the clauses added so far.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Decides satisfiability under the given assumptions.
+    ///
+    /// Assumption literals are forced to be true for this call only; the
+    /// learnt clauses remain valid for later calls, which makes repeated
+    /// solving cheap (incremental SAT).
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for lit in assumptions {
+            assert!(
+                lit.var().index() < self.num_vars,
+                "assumption {lit} references unknown variable"
+            );
+        }
+        self.assumptions = assumptions.to_vec();
+        self.budget_conflicts_start = self.stats.conflicts;
+        self.budget_propagations_start = self.stats.propagations;
+        self.max_learnts = (self.num_problem_clauses as f64 / 3.0).max(1000.0);
+        self.model.clear();
+
+        let mut restarts = 0u64;
+        let result = loop {
+            let budget = RESTART_BASE * luby(restarts);
+            match self.search(budget) {
+                Some(result) => break result,
+                None => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                    if self.budget_exhausted() {
+                        break SolveResult::Unknown;
+                    }
+                }
+            }
+        };
+        self.cancel_until(0);
+        self.assumptions.clear();
+        result
+    }
+
+    /// Returns the model value of a literal after a successful solve.
+    ///
+    /// Returns `None` if the last solve was not [`SolveResult::Sat`] or the
+    /// variable did not exist at that time.
+    pub fn value(&self, lit: Lit) -> Option<bool> {
+        self.model
+            .get(lit.var().index())
+            .and_then(|v| v.to_bool())
+            .map(|v| v == lit.polarity())
+    }
+
+    /// Returns the model value of a variable after a successful solve.
+    pub fn var_value(&self, var: Var) -> Option<bool> {
+        self.model.get(var.index()).and_then(|v| v.to_bool())
+    }
+
+    /// Returns the complete model (indexed by variable) after a successful solve.
+    pub fn model(&self) -> &[LBool] {
+        &self.model
+    }
+
+    /// Returns `false` if the clause set is already known to be unsatisfiable
+    /// regardless of assumptions.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    // ------------------------------------------------------------------
+    // Internal machinery.
+    // ------------------------------------------------------------------
+
+    fn budget_exhausted(&self) -> bool {
+        if let Some(limit) = self.conflict_budget {
+            if self.stats.conflicts - self.budget_conflicts_start >= limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.propagation_budget {
+            if self.stats.propagations - self.budget_propagations_start >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn lit_value(&self, lit: Lit) -> LBool {
+        match self.assigns[lit.var().index()] {
+            LBool::Undef => LBool::Undef,
+            value => {
+                let b = value == LBool::True;
+                LBool::from_bool(b == lit.polarity())
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            debug_assert!(c.len() >= 2);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn enqueue_checked(&mut self, lit: Lit, reason: Option<ClauseRef>) -> bool {
+        match self.lit_value(lit) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                self.unchecked_enqueue(lit, reason);
+                true
+            }
+        }
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(lit), LBool::Undef);
+        let var = lit.var();
+        self.assigns[var.index()] = LBool::from_bool(lit.polarity());
+        self.reason[var.index()] = reason;
+        self.level[var.index()] = self.decision_level() as u32;
+        self.trail.push(lit);
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching `!p` (stored under index `p.code()` by
+            // `attach_clause`) must find a new watch or propagate.
+            let false_lit = !p;
+            let mut watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut keep = 0usize;
+            let mut i = 0usize;
+            'watchers: while i < watchers.len() {
+                let w = watchers[i];
+                i += 1;
+                if self.lit_value(w.blocker) == LBool::True {
+                    watchers[keep] = w;
+                    keep += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                if self.db.get(cref).deleted {
+                    continue;
+                }
+                {
+                    let clause = self.db.get_mut(cref);
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], false_lit);
+                }
+                let first = self.db.get(cref).lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    watchers[keep] = Watcher { cref, blocker: first };
+                    keep += 1;
+                    continue;
+                }
+                let len = self.db.get(cref).len();
+                for k in 2..len {
+                    let lk = self.db.get(cref).lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.db.get_mut(cref).lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher { cref, blocker: first });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting under the current assignment.
+                watchers[keep] = Watcher { cref, blocker: first };
+                keep += 1;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    while i < watchers.len() {
+                        watchers[keep] = watchers[i];
+                        keep += 1;
+                        i += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+            }
+            watchers.truncate(keep);
+            self.watches[p.code()] = watchers;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn cancel_until(&mut self, target_level: usize) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let trail_start = self.trail_lim[target_level];
+        for idx in (trail_start..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let var = lit.var();
+            self.assigns[var.index()] = LBool::Undef;
+            self.phase[var.index()] = lit.polarity();
+            if !self.order.contains(var) {
+                self.order.insert(var, &self.activity);
+            }
+        }
+        self.trail.truncate(trail_start);
+        self.trail_lim.truncate(target_level);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(var, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let inc = self.cla_inc;
+        let clause = self.db.get_mut(cref);
+        clause.activity += inc;
+        if clause.activity > 1e20 {
+            let refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
+            for r in refs {
+                self.db.get_mut(r).activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+        self.cla_inc /= CLA_DECAY;
+    }
+
+    /// First-UIP conflict analysis.  Returns the learnt clause (asserting
+    /// literal first) and the level to backtrack to.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, usize) {
+        let current_level = self.decision_level() as u32;
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::from_index(0))]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            if self.db.get(confl).learnt {
+                self.bump_clause(confl);
+            }
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.db.get(confl).lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[lit.var().index()].expect("resolved literal must have a reason");
+        }
+        learnt[0] = !p.expect("conflict analysis found a UIP");
+
+        // Cheap clause minimisation: drop literals whose reason clause is
+        // entirely covered by other seen literals.
+        let minimized: Vec<Lit> = learnt
+            .iter()
+            .enumerate()
+            .filter(|&(i, &lit)| i == 0 || !self.literal_redundant(lit))
+            .map(|(_, &lit)| lit)
+            .collect();
+
+        // Clear the `seen` flags for the literals that remain marked.
+        for lit in learnt.iter().skip(1) {
+            self.seen[lit.var().index()] = false;
+        }
+        let mut learnt = minimized;
+
+        // Compute backtrack level and move a literal of that level to index 1.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_idx = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_idx].var().index()]
+                {
+                    max_idx = i;
+                }
+            }
+            learnt.swap(1, max_idx);
+            self.level[learnt[1].var().index()] as usize
+        };
+        (learnt, backtrack_level)
+    }
+
+    fn literal_redundant(&self, lit: Lit) -> bool {
+        match self.reason[lit.var().index()] {
+            None => false,
+            Some(cref) => {
+                let clause = self.db.get(cref);
+                clause.lits.iter().skip(1).all(|&q| {
+                    self.seen[q.var().index()] || self.level[q.var().index()] == 0
+                })
+            }
+        }
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        let asserting = learnt[0];
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(asserting, None);
+        } else {
+            let lbd = self.compute_lbd(&learnt);
+            let mut clause = Clause::new(learnt, true);
+            clause.lbd = lbd;
+            let cref = self.db.push(clause);
+            self.attach_clause(cref);
+            self.bump_clause(cref);
+            self.unchecked_enqueue(asserting, Some(cref));
+        }
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn clause_locked(&self, cref: ClauseRef) -> bool {
+        let clause = self.db.get(cref);
+        if clause.deleted || clause.lits.is_empty() {
+            return false;
+        }
+        let l0 = clause.lits[0];
+        self.lit_value(l0) == LBool::True && self.reason[l0.var().index()] == Some(cref)
+    }
+
+    fn reduce_db(&mut self) {
+        let mut candidates: Vec<(f64, u32, ClauseRef)> = self
+            .db
+            .learnt_refs()
+            .filter(|&cref| {
+                let c = self.db.get(cref);
+                c.len() > 2 && !self.clause_locked(cref)
+            })
+            .map(|cref| {
+                let c = self.db.get(cref);
+                (c.activity, c.lbd, cref)
+            })
+            .collect();
+        // Remove the half with the lowest activity (ties broken by larger LBD).
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.1.cmp(&a.1))
+        });
+        let to_remove = candidates.len() / 2;
+        for &(_, _, cref) in candidates.iter().take(to_remove) {
+            self.db.delete(cref);
+        }
+        self.max_learnts *= 1.1;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(var) = self.order.pop_max(&self.activity) {
+            if self.assigns[var.index()] == LBool::Undef {
+                return Some(var);
+            }
+        }
+        None
+    }
+
+    /// Runs the CDCL loop for up to `conflict_limit` conflicts.
+    ///
+    /// Returns `Some(result)` when decided, or `None` to request a restart.
+    fn search(&mut self, conflict_limit: u64) -> Option<SolveResult> {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, backtrack_level) = self.analyze(confl);
+                self.cancel_until(backtrack_level);
+                self.record_learnt(learnt);
+                self.decay_activities();
+            } else {
+                if self.budget_exhausted() {
+                    return Some(SolveResult::Unknown);
+                }
+                if conflicts_here >= conflict_limit {
+                    self.cancel_until(0);
+                    return None;
+                }
+                if self.db.num_learnt() as f64 >= self.max_learnts {
+                    self.reduce_db();
+                }
+                // Handle assumptions, then fall back to the activity heuristic.
+                let mut next: Option<Lit> = None;
+                while self.decision_level() < self.assumptions.len() {
+                    let p = self.assumptions[self.decision_level()];
+                    match self.lit_value(p) {
+                        LBool::True => {
+                            // Dummy level so assumption indices line up.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // The assumptions are inconsistent with the clauses.
+                            return Some(SolveResult::Unsat);
+                        }
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(lit) => Some(lit),
+                    None => self
+                        .pick_branch_var()
+                        .map(|var| Lit::new(var, !self.phase[var.index()])),
+                };
+                match decision {
+                    None => {
+                        // Every variable is assigned: we have a model.
+                        self.model = self.assigns.clone();
+                        return Some(SolveResult::Sat);
+                    }
+                    Some(lit) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(spec: &[i32]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&v| Lit::new(Var::from_index(v.unsigned_abs() as usize - 1), v < 0))
+            .collect()
+    }
+
+    fn solver_with(num_vars: usize, clauses: &[&[i32]]) -> Solver {
+        let mut s = Solver::new();
+        s.ensure_vars(num_vars);
+        for c in clauses {
+            s.add_clause(lits(c));
+        }
+        s
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = solver_with(4, &[&[1], &[-1, 2], &[-2, 3], &[-3, 4]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for i in 0..4 {
+            assert_eq!(s.var_value(Var::from_index(i)), Some(true));
+        }
+    }
+
+    #[test]
+    fn simple_conflict_analysis() {
+        // (a|b) & (a|!b) & (!a|c) & (!a|!c) is unsat.
+        let mut s = solver_with(3, &[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        let a = Lit::new(Var::from_index(0), true);
+        let b = Lit::new(Var::from_index(1), true);
+        assert_eq!(s.solve_with(&[a, b]), SolveResult::Unsat);
+        // Without assumptions the formula is satisfiable again.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[a]), SolveResult::Sat);
+        assert_eq!(s.var_value(Var::from_index(1)), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Pigeon i in hole j -> var index i*2 + j.
+        let mut s = Solver::new();
+        s.ensure_vars(6);
+        let v = |i: usize, j: usize| Lit::positive(Var::from_index(i * 2 + j));
+        for i in 0..3 {
+            s.add_clause([v(i, 0), v(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!v(i1, j), !v(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_is_sat_with_correct_parity() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 0, x3 ^ x1 = 1 is satisfiable.
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        let l = |i: usize, neg: bool| Lit::new(Var::from_index(i), neg);
+        // x1 ^ x2 = 1
+        s.add_clause([l(0, false), l(1, false)]);
+        s.add_clause([l(0, true), l(1, true)]);
+        // x2 ^ x3 = 0  (equality)
+        s.add_clause([l(1, true), l(2, false)]);
+        s.add_clause([l(1, false), l(2, true)]);
+        // x3 ^ x1 = 1
+        s.add_clause([l(2, false), l(0, false)]);
+        s.add_clause([l(2, true), l(0, true)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let x1 = s.var_value(Var::from_index(0)).unwrap();
+        let x2 = s.var_value(Var::from_index(1)).unwrap();
+        let x3 = s.var_value(Var::from_index(2)).unwrap();
+        assert!(x1 ^ x2);
+        assert!(!(x2 ^ x3));
+        assert!(x3 ^ x1);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_or_decides() {
+        // A small pigeonhole instance with a tiny budget should give Unknown.
+        let mut s = Solver::new();
+        let n = 7;
+        s.ensure_vars(n * (n - 1));
+        let v = |i: usize, j: usize| Lit::positive(Var::from_index(i * (n - 1) + j));
+        for i in 0..n {
+            s.add_clause((0..n - 1).map(|j| v(i, j)));
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!v(i1, j), !v(i2, j)]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(5));
+        let result = s.solve();
+        assert_eq!(result, SolveResult::Unknown);
+        // Removing the budget lets it finish (this instance is hard but feasible).
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let clauses: Vec<Vec<i32>> = vec![
+            vec![1, 2, -3],
+            vec![-1, 3],
+            vec![2, 3, 4],
+            vec![-2, -4],
+            vec![1, -2, 3, -4],
+        ];
+        let slices: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(4, &slices);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model: Vec<bool> = (0..4)
+            .map(|i| s.var_value(Var::from_index(i)).unwrap())
+            .collect();
+        for clause in &clauses {
+            assert!(clause.iter().any(|&v| {
+                let idx = v.unsigned_abs() as usize - 1;
+                model[idx] == (v > 0)
+            }));
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = solver_with(3, &[&[1, 2], &[-1, 3], &[-3, -2]]);
+        let _ = s.solve();
+        let stats = s.stats();
+        assert!(stats.solves >= 1);
+    }
+
+    #[test]
+    fn incremental_use_after_unsat_assumptions() {
+        let mut s = solver_with(3, &[&[1, 2], &[-2, 3]]);
+        let not1 = Lit::new(Var::from_index(0), true);
+        let not2 = Lit::new(Var::from_index(1), true);
+        assert_eq!(s.solve_with(&[not1, not2]), SolveResult::Unsat);
+        assert!(s.is_ok());
+        s.add_clause(lits(&[-3]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.var_value(Var::from_index(2)), Some(false));
+        assert_eq!(s.var_value(Var::from_index(1)), Some(false));
+        assert_eq!(s.var_value(Var::from_index(0)), Some(true));
+    }
+}

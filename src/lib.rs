@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the FALL attacks workspace.
+//!
+//! See the [`fall`], [`locking`], [`netlist`] and [`sat`] crates for the
+//! actual functionality; this package exists to host the runnable examples
+//! and the cross-crate integration tests.
+
+pub use fall;
+pub use locking;
+pub use netlist;
+pub use sat;
+

@@ -1,0 +1,241 @@
+//! Property-based tests over the core invariants of the stack, using
+//! proptest to generate random circuits, keys and cubes.
+
+use locking::{Key, LockingScheme, SfllHd, TtLock, XorLock};
+use netlist::random::{generate, RandomCircuitSpec};
+use netlist::sim::pattern_to_bits;
+use netlist::strash::strash;
+use netlist::{GateKind, Netlist, NodeId};
+use proptest::prelude::*;
+use sat::{Lit, SolveResult, Solver, Var};
+
+/// Builds a small random circuit from a proptest-chosen seed.
+fn seeded_circuit(seed: u64, inputs: usize, gates: usize) -> Netlist {
+    generate(&RandomCircuitSpec::new("prop", inputs, 2, gates).with_seed(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural hashing never changes the circuit function.
+    #[test]
+    fn strash_preserves_function(seed in 0u64..1_000, pattern in 0u64..256) {
+        let circuit = seeded_circuit(seed, 8, 60);
+        let optimized = strash(&circuit);
+        let bits = pattern_to_bits(pattern, 8);
+        prop_assert_eq!(circuit.evaluate(&bits, &[]), optimized.evaluate(&bits, &[]));
+    }
+
+    /// The Tseitin encoding agrees with direct simulation on every output.
+    #[test]
+    fn cnf_encoding_matches_simulation(seed in 0u64..500, pattern in 0u64..256) {
+        let circuit = seeded_circuit(seed, 8, 40);
+        let bits = pattern_to_bits(pattern, 8);
+        let expected = circuit.evaluate(&bits, &[]);
+
+        let mut solver = Solver::new();
+        let enc = netlist::cnf::encode(&circuit, &mut solver, &netlist::cnf::PinBinding::default());
+        for (lit, value) in enc.inputs.iter().zip(&bits) {
+            solver.add_clause([if *value { *lit } else { !*lit }]);
+        }
+        prop_assert_eq!(solver.solve(), SolveResult::Sat);
+        let got: Vec<bool> = enc.outputs.iter().map(|&l| solver.value(l).unwrap()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The SAT solver agrees with brute force on small random formulas.
+    #[test]
+    fn solver_matches_brute_force(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0usize..6, any::<bool>()), 1..4),
+            1..12,
+        )
+    ) {
+        let mut solver = Solver::new();
+        solver.ensure_vars(6);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().map(|&(v, neg)| Lit::new(Var::from_index(v), neg)));
+        }
+        let solver_says_sat = solver.solve() == SolveResult::Sat;
+
+        let brute_force_sat = (0u64..64).any(|assignment| {
+            clauses.iter().all(|clause| {
+                clause.iter().any(|&(v, neg)| {
+                    let value = (assignment >> v) & 1 == 1;
+                    value != neg
+                })
+            })
+        });
+        prop_assert_eq!(solver_says_sat, brute_force_sat);
+
+        // When satisfiable, the reported model must satisfy every clause.
+        if solver_says_sat {
+            for clause in &clauses {
+                let clause_satisfied = clause
+                    .iter()
+                    .any(|&(v, neg)| solver.var_value(Var::from_index(v)) == Some(!neg));
+                prop_assert!(clause_satisfied);
+            }
+        }
+    }
+
+    /// Locking with the correct key is always functionally transparent, for
+    /// every scheme.
+    #[test]
+    fn correct_key_is_transparent(seed in 0u64..200, pattern in 0u64..1024) {
+        let original = seeded_circuit(seed, 10, 80);
+        let bits = pattern_to_bits(pattern, 10);
+        let want = original.evaluate(&bits, &[]);
+
+        let sfll = SfllHd::new(6, 1).with_seed(seed).lock(&original).unwrap();
+        prop_assert_eq!(sfll.locked.evaluate(&bits, sfll.key.bits()), want.clone());
+
+        let tt = TtLock::new(6).with_seed(seed).lock(&original).unwrap();
+        prop_assert_eq!(tt.locked.evaluate(&bits, tt.key.bits()), want.clone());
+
+        let xor = XorLock::new(6).with_seed(seed).lock(&original).unwrap();
+        prop_assert_eq!(xor.locked.evaluate(&bits, xor.key.bits()), want);
+    }
+
+    /// SFLL-HDh corrupts a wrong key on at most `2 * C(m, h)` input patterns
+    /// of the protected-input subspace — the low-corruption property that
+    /// makes it SAT-attack resilient.
+    #[test]
+    fn sfll_wrong_key_corruption_is_bounded(seed in 0u64..100) {
+        let original = seeded_circuit(seed, 8, 60);
+        let m = 8usize;
+        let h = 1usize;
+        let locked = SfllHd::new(m, h).with_seed(seed).lock(&original).unwrap();
+        let wrong = Key::from_pattern(seed ^ 0x55, m);
+        prop_assume!(wrong != locked.key);
+        let corrupted = (0..256u64)
+            .filter(|&p| {
+                let bits = pattern_to_bits(p, 8);
+                locked.locked.evaluate(&bits, wrong.bits()) != original.evaluate(&bits, &[])
+            })
+            .count();
+        // C(8, 1) = 8 patterns per cube, two cubes involved at most.
+        prop_assert!(corrupted <= 16, "corrupted {} patterns", corrupted);
+    }
+
+    /// Key extraction from the locked circuit: whatever key the FALL attack
+    /// shortlists must be functionally correct (never a false positive once
+    /// the equivalence check is on).
+    #[test]
+    fn fall_shortlist_contains_no_false_positives(seed in 0u64..24) {
+        let original = seeded_circuit(seed, 12, 100);
+        let locked = SfllHd::new(8, 1).with_seed(seed).lock(&original).unwrap().optimized();
+        let result = fall::attack::fall_attack(
+            &locked.locked,
+            None,
+            &fall::attack::FallAttackConfig::for_h(1),
+        );
+        for key in &result.shortlisted_keys {
+            prop_assert!(
+                locked.key_is_functionally_correct(key, 128, seed),
+                "shortlisted key {} is not functionally correct",
+                key
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Gate-level rewriting (constant propagation + dead-logic removal) never
+    /// changes the circuit function and never grows the netlist.
+    #[test]
+    fn rewrite_simplify_preserves_function(seed in 0u64..500, pattern in 0u64..256) {
+        let circuit = seeded_circuit(seed, 8, 50);
+        let cleaned = netlist::rewrite::simplify(&circuit);
+        prop_assert!(cleaned.num_gates() <= circuit.num_gates());
+        let bits = pattern_to_bits(pattern, 8);
+        prop_assert_eq!(circuit.evaluate(&bits, &[]), cleaned.evaluate(&bits, &[]));
+    }
+
+    /// Applying the ground-truth key with `fall::unlock` always reproduces the
+    /// original circuit, for a random scheme choice.
+    #[test]
+    fn unlock_with_correct_key_recovers_original(seed in 0u64..60, scheme_choice in 0usize..3) {
+        let original = seeded_circuit(seed, 9, 70);
+        let locked = match scheme_choice {
+            0 => TtLock::new(6).with_seed(seed).lock(&original).unwrap(),
+            1 => SfllHd::new(6, 1).with_seed(seed).lock(&original).unwrap(),
+            _ => XorLock::new(6).with_seed(seed).lock(&original).unwrap(),
+        };
+        let unlocked = fall::unlock::apply_key(&locked.locked, &locked.key);
+        prop_assert!(fall::unlock::equivalent_to(&unlocked, &original, 256, seed));
+    }
+
+    /// A `.bench` export/import round trip preserves the locked function.
+    #[test]
+    fn bench_round_trip_preserves_locked_function(seed in 0u64..60, pattern in 0u64..512) {
+        let original = seeded_circuit(seed, 9, 60);
+        let locked = SfllHd::new(5, 1).with_seed(seed).lock(&original).unwrap();
+        let text = netlist::bench_format::write(&locked.locked);
+        let reparsed = netlist::bench_format::parse(&text).unwrap();
+        let bits = pattern_to_bits(pattern, 9);
+        prop_assert_eq!(
+            locked.locked.evaluate(&bits, locked.key.bits()),
+            reparsed.evaluate(&bits, locked.key.bits())
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The gate-level Hamming-distance comparator agrees with a reference
+    /// popcount for arbitrary widths, cubes and distances.
+    #[test]
+    fn hamming_comparator_matches_reference(
+        width in 1usize..7,
+        cube in 0u64..64,
+        h in 0usize..4,
+        pattern in 0u64..64,
+    ) {
+        prop_assume!(h <= width);
+        let cube = cube & ((1 << width) - 1);
+        let pattern = pattern & ((1 << width) - 1);
+        let mut nl = Netlist::new("hd_prop");
+        let xs: Vec<NodeId> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let cube_bits = pattern_to_bits(cube, width);
+        let out = netlist::hamming::hamming_distance_equals_const(&mut nl, &xs, &cube_bits, h);
+        nl.add_output("hd", out);
+        let got = nl.evaluate(&pattern_to_bits(pattern, width), &[])[0];
+        let expected = (cube ^ pattern).count_ones() as usize == h;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// XOR/XNOR chains in the netlist survive the AIG round trip.
+    #[test]
+    fn aig_round_trip_preserves_small_functions(
+        kinds in proptest::collection::vec(0usize..6, 1..6),
+        pattern in 0u64..16,
+    ) {
+        let gate_kinds = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xnor,
+        ];
+        let mut nl = Netlist::new("aig_prop");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let mut last = a;
+        let pool = [a, b, c, d];
+        for (i, &k) in kinds.iter().enumerate() {
+            let other = pool[i % pool.len()];
+            last = nl.add_gate(format!("g{i}"), gate_kinds[k], &[last, other]);
+        }
+        nl.add_output("y", last);
+        let optimized = strash(&nl);
+        let bits = pattern_to_bits(pattern, 4);
+        prop_assert_eq!(nl.evaluate(&bits, &[]), optimized.evaluate(&bits, &[]));
+    }
+}
