@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Local CI gate for the FALL attacks reproduction.
+#
+# Usage: ./ci.sh [--quick]
+#   --quick   skip the release build (format/lint/test only)
+#
+# Everything runs offline: external dependencies are vendored as local
+# API-compatible stand-ins under crates/compat/ (see crates/compat/README.md).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -15,9 +15,11 @@ fn bench_table1(c: &mut Criterion) {
     // One row of Table I = lock one circuit with all four policies and count
     // gates after structural hashing.
     for spec in &TABLE1_CIRCUITS[..3] {
-        group.bench_with_input(BenchmarkId::new("table1_row", spec.name), spec, |b, spec| {
-            b.iter(|| table1_rows(std::slice::from_ref(spec), Scale::Scaled))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("table1_row", spec.name),
+            spec,
+            |b, spec| b.iter(|| table1_rows(std::slice::from_ref(spec), Scale::Scaled)),
+        );
     }
 
     group.bench_function("lock_case_build_hd_quarter", |b| {

@@ -1,0 +1,120 @@
+//! Incremental `AttackSession` versus fresh-solver-per-query ablation.
+//!
+//! Measures the DIP loop of the SAT attack and the key-confirmation loop on
+//! the Figure 5 / Figure 6 workloads, with session reuse (`sat_attack`,
+//! `key_confirmation`) against the pre-session baselines that allocate fresh
+//! solvers and re-encode the netlist per query (`sat_attack_fresh`,
+//! `key_confirmation_fresh`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fall::key_confirmation::{key_confirmation, key_confirmation_fresh, KeyConfirmationConfig};
+use fall::oracle::SimOracle;
+use fall::sat_attack::{sat_attack, sat_attack_fresh, SatAttackConfig};
+use fall_bench::{HdPolicy, LockCase, Scale, TABLE1_CIRCUITS};
+use locking::{LockingScheme, SfllHd, XorLock};
+use netlist::random::{generate, RandomCircuitSpec};
+use std::time::Duration;
+
+fn bench_incremental_vs_fresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_vs_fresh");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    // --- DIP loop: the Figure 5 SAT-attack workloads -----------------------
+    let original = generate(&RandomCircuitSpec::new("ivf_xor", 12, 3, 120));
+    let oracle = SimOracle::new(original.clone());
+    let xor_locked = XorLock::new(10).with_seed(1).lock(&original).expect("lock");
+    group.bench_function("sat_attack_session/xor_lock_10_keys", |b| {
+        b.iter(|| sat_attack(&xor_locked.locked, &oracle, &SatAttackConfig::default()))
+    });
+    group.bench_function("sat_attack_fresh/xor_lock_10_keys", |b| {
+        b.iter(|| sat_attack_fresh(&xor_locked.locked, &oracle, &SatAttackConfig::default()))
+    });
+
+    let sfll_small = SfllHd::new(6, 0)
+        .with_seed(2)
+        .lock(&original)
+        .expect("lock");
+    group.bench_function("sat_attack_session/sfll_hd0_6_keys", |b| {
+        b.iter(|| sat_attack(&sfll_small.locked, &oracle, &SatAttackConfig::default()))
+    });
+    group.bench_function("sat_attack_fresh/sfll_hd0_6_keys", |b| {
+        b.iter(|| sat_attack_fresh(&sfll_small.locked, &oracle, &SatAttackConfig::default()))
+    });
+
+    // --- Key confirmation: the Figure 6 / Table 1 workloads ----------------
+    let fig6_original = generate(&RandomCircuitSpec::new("ivf_fig6", 14, 3, 150));
+    let fig6_locked = SfllHd::new(8, 1)
+        .with_seed(5)
+        .lock(&fig6_original)
+        .expect("lock")
+        .optimized();
+    let fig6_oracle = SimOracle::new(fig6_original);
+    let shortlist = vec![fig6_locked.key.clone(), fig6_locked.key.complement()];
+    group.bench_function("key_confirmation_session/sfll_hd1_8_keys", |b| {
+        b.iter(|| {
+            key_confirmation(
+                &fig6_locked.locked,
+                &fig6_oracle,
+                &shortlist,
+                &KeyConfirmationConfig::default(),
+            )
+        })
+    });
+    group.bench_function("key_confirmation_fresh/sfll_hd1_8_keys", |b| {
+        b.iter(|| {
+            key_confirmation_fresh(
+                &fig6_locked.locked,
+                &fig6_oracle,
+                &shortlist,
+                &KeyConfirmationConfig::default(),
+            )
+        })
+    });
+
+    // A Table 1 grid case (first circuit, h = m/8) confirmed from a
+    // three-entry shortlist, as the FALL pipeline would produce.
+    let case = LockCase::build(&TABLE1_CIRCUITS[0], HdPolicy::EighthOfKeys, Scale::Scaled);
+    let case_oracle = SimOracle::new(case.locked.original.clone());
+    let case_shortlist = vec![
+        case.locked.key.complement(),
+        case.locked.key.clone(),
+        locking::Key::zeros(case.keys),
+    ];
+    let label = format!("{}_h{}", case.spec.name, case.h);
+    group.bench_with_input(
+        BenchmarkId::new("key_confirmation_session", &label),
+        &case,
+        |b, case| {
+            b.iter(|| {
+                key_confirmation(
+                    &case.locked.locked,
+                    &case_oracle,
+                    &case_shortlist,
+                    &KeyConfirmationConfig::default(),
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("key_confirmation_fresh", &label),
+        &case,
+        |b, case| {
+            b.iter(|| {
+                key_confirmation_fresh(
+                    &case.locked.locked,
+                    &case_oracle,
+                    &case_shortlist,
+                    &KeyConfirmationConfig::default(),
+                )
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_fresh);
+criterion_main!(benches);

@@ -19,10 +19,20 @@ fn bench_locking(c: &mut Criterion) {
         b.iter(|| TtLock::new(16).lock(&original).expect("lock").optimized())
     });
     group.bench_function("sfll_hd2_16_keys", |b| {
-        b.iter(|| SfllHd::new(16, 2).lock(&original).expect("lock").optimized())
+        b.iter(|| {
+            SfllHd::new(16, 2)
+                .lock(&original)
+                .expect("lock")
+                .optimized()
+        })
     });
     group.bench_function("sfll_hd8_32_keys", |b| {
-        b.iter(|| SfllHd::new(32, 8).lock(&original).expect("lock").optimized())
+        b.iter(|| {
+            SfllHd::new(32, 8)
+                .lock(&original)
+                .expect("lock")
+                .optimized()
+        })
     });
     group.bench_function("sarlock_16_keys", |b| {
         b.iter(|| SarLock::new(16).lock(&original).expect("lock").optimized())

@@ -117,7 +117,11 @@ pub fn format_fig5(panel_label: &str, records: &[AttackRecord]) -> String {
             total
         ));
         for (time, solved) in &series {
-            out.push_str(&format!("    {:>10.3}s  {:>3} solved\n", time.as_secs_f64(), solved));
+            out.push_str(&format!(
+                "    {:>10.3}s  {:>3} solved\n",
+                time.as_secs_f64(),
+                solved
+            ));
         }
     }
     out
@@ -178,8 +182,7 @@ fn mean_std(values: &[f64]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let variance =
-        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
     (mean, variance.sqrt())
 }
 
@@ -201,7 +204,10 @@ pub fn headline(records: &[AttackRecord]) -> Headline {
     Headline {
         total: records.len(),
         defeated: records.iter().filter(|r| r.defeated).count(),
-        unique_key: records.iter().filter(|r| r.defeated && r.unique_key).count(),
+        unique_key: records
+            .iter()
+            .filter(|r| r.defeated && r.unique_key)
+            .count(),
     }
 }
 
@@ -231,7 +237,13 @@ pub fn format_headline(h: &Headline) -> String {
 mod tests {
     use super::*;
 
-    fn record(attack: AttackKind, circuit: &str, secs: f64, defeated: bool, unique: bool) -> AttackRecord {
+    fn record(
+        attack: AttackKind,
+        circuit: &str,
+        secs: f64,
+        defeated: bool,
+        unique: bool,
+    ) -> AttackRecord {
         AttackRecord {
             circuit: circuit.to_string(),
             h: 1,
@@ -279,7 +291,14 @@ mod tests {
             record(AttackKind::Distance2H, "c", 1.0, false, false),
         ];
         let h = headline(&records);
-        assert_eq!(h, Headline { total: 3, defeated: 2, unique_key: 1 });
+        assert_eq!(
+            h,
+            Headline {
+                total: 3,
+                defeated: 2,
+                unique_key: 1
+            }
+        );
         let text = format_headline(&h);
         assert!(text.contains("2/3"));
         assert!(text.contains("paper: 65/80"));

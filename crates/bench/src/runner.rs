@@ -176,8 +176,7 @@ impl Runner {
             ..KeyConfirmationConfig::default()
         };
         let start = Instant::now();
-        let result =
-            fall::key_confirmation(&case.locked.locked, &oracle, &shortlist, &kc_config);
+        let result = fall::key_confirmation(&case.locked.locked, &oracle, &shortlist, &kc_config);
         let elapsed = start.elapsed();
         let defeated = result
             .key

@@ -21,26 +21,146 @@ pub struct CircuitSpec {
 
 /// The 20 benchmark circuits of Table I with the paper's interface sizes.
 pub const TABLE1_CIRCUITS: [CircuitSpec; 20] = [
-    CircuitSpec { name: "ex1010", inputs: 10, outputs: 10, gates: 2754, keys: 10 },
-    CircuitSpec { name: "apex4", inputs: 10, outputs: 19, gates: 2886, keys: 10 },
-    CircuitSpec { name: "c1908", inputs: 33, outputs: 25, gates: 414, keys: 33 },
-    CircuitSpec { name: "c432", inputs: 36, outputs: 7, gates: 209, keys: 36 },
-    CircuitSpec { name: "apex2", inputs: 39, outputs: 3, gates: 345, keys: 39 },
-    CircuitSpec { name: "c1355", inputs: 41, outputs: 32, gates: 504, keys: 41 },
-    CircuitSpec { name: "seq", inputs: 41, outputs: 35, gates: 1964, keys: 41 },
-    CircuitSpec { name: "c499", inputs: 41, outputs: 32, gates: 400, keys: 41 },
-    CircuitSpec { name: "k2", inputs: 46, outputs: 45, gates: 1474, keys: 46 },
-    CircuitSpec { name: "c3540", inputs: 50, outputs: 22, gates: 1038, keys: 50 },
-    CircuitSpec { name: "c880", inputs: 60, outputs: 26, gates: 327, keys: 60 },
-    CircuitSpec { name: "dalu", inputs: 75, outputs: 16, gates: 1202, keys: 64 },
-    CircuitSpec { name: "i9", inputs: 88, outputs: 63, gates: 591, keys: 64 },
-    CircuitSpec { name: "i8", inputs: 133, outputs: 81, gates: 1725, keys: 64 },
-    CircuitSpec { name: "c5315", inputs: 178, outputs: 123, gates: 1773, keys: 64 },
-    CircuitSpec { name: "i4", inputs: 192, outputs: 6, gates: 246, keys: 64 },
-    CircuitSpec { name: "i7", inputs: 199, outputs: 67, gates: 663, keys: 64 },
-    CircuitSpec { name: "c7552", inputs: 207, outputs: 108, gates: 2074, keys: 64 },
-    CircuitSpec { name: "c2670", inputs: 233, outputs: 140, gates: 717, keys: 64 },
-    CircuitSpec { name: "des", inputs: 256, outputs: 245, gates: 3839, keys: 64 },
+    CircuitSpec {
+        name: "ex1010",
+        inputs: 10,
+        outputs: 10,
+        gates: 2754,
+        keys: 10,
+    },
+    CircuitSpec {
+        name: "apex4",
+        inputs: 10,
+        outputs: 19,
+        gates: 2886,
+        keys: 10,
+    },
+    CircuitSpec {
+        name: "c1908",
+        inputs: 33,
+        outputs: 25,
+        gates: 414,
+        keys: 33,
+    },
+    CircuitSpec {
+        name: "c432",
+        inputs: 36,
+        outputs: 7,
+        gates: 209,
+        keys: 36,
+    },
+    CircuitSpec {
+        name: "apex2",
+        inputs: 39,
+        outputs: 3,
+        gates: 345,
+        keys: 39,
+    },
+    CircuitSpec {
+        name: "c1355",
+        inputs: 41,
+        outputs: 32,
+        gates: 504,
+        keys: 41,
+    },
+    CircuitSpec {
+        name: "seq",
+        inputs: 41,
+        outputs: 35,
+        gates: 1964,
+        keys: 41,
+    },
+    CircuitSpec {
+        name: "c499",
+        inputs: 41,
+        outputs: 32,
+        gates: 400,
+        keys: 41,
+    },
+    CircuitSpec {
+        name: "k2",
+        inputs: 46,
+        outputs: 45,
+        gates: 1474,
+        keys: 46,
+    },
+    CircuitSpec {
+        name: "c3540",
+        inputs: 50,
+        outputs: 22,
+        gates: 1038,
+        keys: 50,
+    },
+    CircuitSpec {
+        name: "c880",
+        inputs: 60,
+        outputs: 26,
+        gates: 327,
+        keys: 60,
+    },
+    CircuitSpec {
+        name: "dalu",
+        inputs: 75,
+        outputs: 16,
+        gates: 1202,
+        keys: 64,
+    },
+    CircuitSpec {
+        name: "i9",
+        inputs: 88,
+        outputs: 63,
+        gates: 591,
+        keys: 64,
+    },
+    CircuitSpec {
+        name: "i8",
+        inputs: 133,
+        outputs: 81,
+        gates: 1725,
+        keys: 64,
+    },
+    CircuitSpec {
+        name: "c5315",
+        inputs: 178,
+        outputs: 123,
+        gates: 1773,
+        keys: 64,
+    },
+    CircuitSpec {
+        name: "i4",
+        inputs: 192,
+        outputs: 6,
+        gates: 246,
+        keys: 64,
+    },
+    CircuitSpec {
+        name: "i7",
+        inputs: 199,
+        outputs: 67,
+        gates: 663,
+        keys: 64,
+    },
+    CircuitSpec {
+        name: "c7552",
+        inputs: 207,
+        outputs: 108,
+        gates: 2074,
+        keys: 64,
+    },
+    CircuitSpec {
+        name: "c2670",
+        inputs: 233,
+        outputs: 140,
+        gates: 717,
+        keys: 64,
+    },
+    CircuitSpec {
+        name: "des",
+        inputs: 256,
+        outputs: 245,
+        gates: 3839,
+        keys: 64,
+    },
 ];
 
 /// How large the generated circuits and keys should be.
@@ -81,10 +201,9 @@ impl CircuitSpec {
 
 fn seed_from_name(name: &str) -> u64 {
     // FNV-1a keeps the suite deterministic without external dependencies.
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| {
-            (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3)
-        })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| {
+        (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3)
+    })
 }
 
 /// The Hamming-distance settings of Figure 5.
@@ -247,6 +366,8 @@ mod tests {
     fn subset_grid_only_contains_requested_circuits() {
         let cases = lock_grid_subset(Scale::Scaled, &["c432", "c880"]);
         assert_eq!(cases.len(), 8);
-        assert!(cases.iter().all(|c| c.spec.name == "c432" || c.spec.name == "c880"));
+        assert!(cases
+            .iter()
+            .all(|c| c.spec.name == "c432" || c.spec.name == "c880"));
     }
 }

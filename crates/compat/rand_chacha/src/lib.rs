@@ -1,0 +1,82 @@
+//! Offline, API-compatible stand-in for `rand_chacha` (see
+//! `crates/compat/README.md`).
+//!
+//! [`ChaCha8Rng`] keeps the name the workspace imports but is implemented as
+//! xoshiro256++ seeded through SplitMix64 — deterministic and statistically
+//! solid for workload generation, *not* a cryptographic ChaCha stream.
+
+#![deny(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seeded PRNG (xoshiro256++ under the ChaCha8Rng name).
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> ChaCha8Rng {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut x = state;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        ChaCha8Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn bools_are_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(55);
+        let ones = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&ones), "ones = {ones}");
+    }
+}

@@ -8,12 +8,13 @@ use std::time::{Duration, Instant};
 use locking::Key;
 use netlist::{Netlist, NodeId};
 
-use crate::equivalence::candidate_equals_strip;
+use crate::equivalence::candidate_equals_strip_in;
 use crate::functional::{
-    analyze_unateness, distance_2h, sliding_window, Analysis, CubeAssignment,
+    analyze_unateness_in, distance_2h_in, sliding_window_in, Analysis, CubeAssignment,
 };
-use crate::key_confirmation::{key_confirmation, KeyConfirmationConfig};
+use crate::key_confirmation::{key_confirmation_in, KeyConfirmationConfig};
 use crate::oracle::Oracle;
+use crate::session::AttackSession;
 use crate::structural::{find_candidates, find_comparators, find_comparators_sat, CandidateNodes};
 
 /// Configuration of the FALL attack.
@@ -132,7 +133,7 @@ impl FallAttackResult {
     pub fn best_key(&self) -> Option<&Key> {
         self.confirmed_key
             .as_ref()
-            .or_else(|| match self.shortlisted_keys.as_slice() {
+            .or(match self.shortlisted_keys.as_slice() {
                 [only] => Some(only),
                 _ => None,
             })
@@ -182,7 +183,12 @@ pub fn fall_attack(
         return base(FallStatus::NoCandidates, timings);
     }
 
-    // Stage 3 + 4: functional analyses and equivalence checking.
+    // Stage 3 + 4: functional analyses and equivalence checking.  One
+    // persistent attack session serves every candidate, every analysis, the
+    // equivalence checks and (below) the key-confirmation stage: cone
+    // encodings, the input-difference vector and the popcount network are all
+    // built once and shared.
+    let mut session = AttackSession::new(locked);
     let analyses = config
         .analyses
         .clone()
@@ -195,13 +201,14 @@ pub fn fall_attack(
     for &candidate in &candidates.candidates {
         for &analysis in &analyses {
             let t = Instant::now();
-            let cube = run_analysis(locked, candidate, analysis, config.h);
+            let cube = run_analysis(&mut session, candidate, analysis, config.h);
             functional_time += t.elapsed();
             let Some(cube) = cube else { continue };
 
             if config.equivalence_check {
                 let t = Instant::now();
-                let equivalent = candidate_equals_strip(locked, candidate, &cube, config.h);
+                let equivalent =
+                    candidate_equals_strip_in(&mut session, candidate, &cube, config.h);
                 equivalence_time += t.elapsed();
                 if !equivalent {
                     continue;
@@ -237,8 +244,8 @@ pub fn fall_attack(
             }
             Some(oracle) => {
                 let t = Instant::now();
-                let confirmation = key_confirmation(
-                    locked,
+                let confirmation = key_confirmation_in(
+                    &mut session,
                     oracle,
                     &result.shortlisted_keys,
                     &config.confirmation,
@@ -260,15 +267,15 @@ pub fn fall_attack(
 }
 
 fn run_analysis(
-    locked: &Netlist,
+    session: &mut AttackSession<'_>,
     candidate: NodeId,
     analysis: Analysis,
     h: usize,
 ) -> Option<CubeAssignment> {
     match analysis {
-        Analysis::Unateness => analyze_unateness(locked, candidate),
-        Analysis::SlidingWindow => sliding_window(locked, candidate, h),
-        Analysis::Distance2H => distance_2h(locked, candidate, h),
+        Analysis::Unateness => analyze_unateness_in(session, candidate),
+        Analysis::SlidingWindow => sliding_window_in(session, candidate, h),
+        Analysis::Distance2H => distance_2h_in(session, candidate, h),
     }
 }
 
@@ -289,7 +296,9 @@ fn cube_to_key(
         let key_index = locked.key_inputs().iter().position(|&k| k == key_node)?;
         bits[key_index] = Some(value);
     }
-    bits.into_iter().collect::<Option<Vec<bool>>>().map(Key::new)
+    bits.into_iter()
+        .collect::<Option<Vec<bool>>>()
+        .map(Key::new)
 }
 
 #[cfg(test)]
@@ -306,7 +315,11 @@ mod tests {
     #[test]
     fn breaks_ttlock_without_an_oracle() {
         let original = original("fa_tt");
-        let locked = TtLock::new(10).with_seed(31).lock(&original).expect("lock").optimized();
+        let locked = TtLock::new(10)
+            .with_seed(31)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let result = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(0));
         assert_eq!(result.status, FallStatus::UniqueKey, "{result:?}");
         assert_eq!(result.best_key(), Some(&locked.key));
@@ -317,7 +330,11 @@ mod tests {
     #[test]
     fn breaks_sfll_hd1_without_an_oracle() {
         let original = original("fa_hd1");
-        let locked = SfllHd::new(10, 1).with_seed(8).lock(&original).expect("lock").optimized();
+        let locked = SfllHd::new(10, 1)
+            .with_seed(8)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let result = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(1));
         assert!(result.status.is_success(), "{result:?}");
         assert!(result.shortlisted_keys.contains(&locked.key));
@@ -326,7 +343,11 @@ mod tests {
     #[test]
     fn breaks_sfll_hd2_with_each_applicable_analysis() {
         let original = original("fa_hd2");
-        let locked = SfllHd::new(12, 2).with_seed(19).lock(&original).expect("lock").optimized();
+        let locked = SfllHd::new(12, 2)
+            .with_seed(19)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         for analysis in [Analysis::Distance2H, Analysis::SlidingWindow] {
             let mut config = FallAttackConfig::for_h(2);
             config.analyses = Some(vec![analysis]);
@@ -343,7 +364,11 @@ mod tests {
         // Without the equivalence check, spurious cubes can survive; with an
         // oracle the confirmation stage must still recover the correct key.
         let original = original("fa_confirm");
-        let locked = SfllHd::new(9, 1).with_seed(77).lock(&original).expect("lock").optimized();
+        let locked = SfllHd::new(9, 1)
+            .with_seed(77)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let oracle = SimOracle::new(locked.original.clone());
         let mut config = FallAttackConfig::for_h(1);
         config.equivalence_check = false;
@@ -359,10 +384,17 @@ mod tests {
         // comparators (the key XORs) but no candidate matches the support, or
         // the functional stages reject everything.
         let original = original("fa_xor");
-        let locked = XorLock::new(8).with_seed(3).lock(&original).expect("lock").optimized();
+        let locked = XorLock::new(8)
+            .with_seed(3)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let result = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(0));
         assert!(
-            matches!(result.status, FallStatus::NoCandidates | FallStatus::NoKeysFound),
+            matches!(
+                result.status,
+                FallStatus::NoCandidates | FallStatus::NoKeysFound
+            ),
             "{result:?}"
         );
         assert!(result.shortlisted_keys.is_empty());
@@ -371,7 +403,11 @@ mod tests {
     #[test]
     fn sat_comparator_ablation_agrees() {
         let original = original("fa_ablation");
-        let locked = TtLock::new(8).with_seed(12).lock(&original).expect("lock").optimized();
+        let locked = TtLock::new(8)
+            .with_seed(12)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let mut config = FallAttackConfig::for_h(0);
         config.sat_comparators = true;
         let result = fall_attack(&locked.locked, None, &config);
@@ -382,7 +418,11 @@ mod tests {
     #[test]
     fn timings_are_recorded() {
         let original = original("fa_time");
-        let locked = TtLock::new(6).with_seed(1).lock(&original).expect("lock").optimized();
+        let locked = TtLock::new(6)
+            .with_seed(1)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let result = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(0));
         assert!(result.timings.total() > Duration::ZERO);
         assert!(result.timings.comparators > Duration::ZERO);

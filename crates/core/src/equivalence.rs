@@ -5,25 +5,46 @@
 //! function `strip_h(Kc)`.  This module builds the reference function over
 //! the same inputs and proves (un)equivalence with a miter and one SAT call.
 
-use netlist::analysis::support;
-use netlist::cnf::{encode_cones, PinBinding};
+use netlist::analysis::{input_positions, support};
 use netlist::{Netlist, NodeId};
-use sat::{Lit, SolveResult, Solver};
+use sat::{Lit, SolveResult};
 
-use crate::functional::{popcount_equals_lit, xor2_lit, CubeAssignment};
+use crate::functional::CubeAssignment;
+use crate::session::AttackSession;
 
 /// Checks whether the candidate node computes exactly
-/// `strip_h(Kc)(X) = (HD(X, Kc) == h)` for the suspected cube `Kc`.
-///
-/// Returns `true` iff the two functions are equivalent for *all* inputs (the
-/// miter is unsatisfiable).  Returns `false` when the candidate depends on
-/// key inputs or the cube does not cover its support.
+/// `strip_h(Kc)(X) = (HD(X, Kc) == h)` for the suspected cube `Kc`, using a
+/// throwaway session.  Prefer [`candidate_equals_strip_in`] when checking
+/// several suspects of the same netlist.
 pub fn candidate_equals_strip(
     netlist: &Netlist,
     candidate: NodeId,
     cube: &CubeAssignment,
     h: usize,
 ) -> bool {
+    let mut session = AttackSession::new(netlist);
+    candidate_equals_strip_in(&mut session, candidate, cube, h)
+}
+
+/// Session-based equivalence check.
+///
+/// Returns `true` iff the two functions are equivalent for *all* inputs (the
+/// miter is unsatisfiable).  Returns `false` when the candidate depends on
+/// key inputs or the cube does not cover its support.
+///
+/// The reference function `HD(X1, Kc) == h` is expressed through the
+/// session's shared machinery: the second input space `X2` carries the cube
+/// constants (by assumption), positions outside the candidate's support are
+/// forced pairwise equal, and the memoized session popcount provides the
+/// distance test — so repeated checks re-encode nothing but the (memoized)
+/// candidate cone.
+pub fn candidate_equals_strip_in(
+    session: &mut AttackSession<'_>,
+    candidate: NodeId,
+    cube: &CubeAssignment,
+    h: usize,
+) -> bool {
+    let netlist = session.netlist();
     let sup = support(netlist, candidate);
     if !sup.keys.is_empty() || sup.primary.is_empty() {
         return false;
@@ -37,45 +58,44 @@ pub fn candidate_equals_strip(
     if h > inputs.len() {
         return false;
     }
+    let positions = input_positions(netlist, &inputs);
+    let mut slot_of: Vec<Option<usize>> = vec![None; netlist.num_inputs()];
+    for (slot, &position) in positions.iter().enumerate() {
+        slot_of[position] = Some(slot);
+    }
 
-    let mut solver = Solver::new();
-    let enc = encode_cones(netlist, &mut solver, &[candidate], &PinBinding::default());
-    let candidate_lit = enc.lit(candidate);
+    let candidate_lit = session.cone_lit(candidate);
+    let reference_lit = session.hd_equals(h);
+    let miter = session.miter(candidate_lit, reference_lit);
 
-    // Reference strip function over the same input literals: the difference
-    // bit for input i is x_i when Kc_i = 0 and !x_i when Kc_i = 1.
-    let diffs: Vec<Lit> = inputs
-        .iter()
-        .map(|&id| {
-            let position = netlist
-                .inputs()
-                .iter()
-                .position(|&x| x == id)
-                .expect("support input is a primary input");
-            let lit = enc.inputs[position];
-            if cube_value(id).expect("checked above") {
-                !lit
-            } else {
-                lit
-            }
-        })
-        .collect();
-    let reference_lit = popcount_equals_lit(&mut solver, &diffs, h);
-
-    let miter = xor2_lit(&mut solver, candidate_lit, reference_lit);
-    solver.solve_with(&[miter]) == SolveResult::Unsat
+    // Assumptions: X2 carries the cube over the support; everything outside
+    // the support contributes zero distance.
+    let mut assumptions: Vec<Lit> = Vec::with_capacity(netlist.num_inputs() + 1);
+    for (position, &slot) in slot_of.iter().enumerate() {
+        if let Some(slot) = slot {
+            let (_, x2) = session.input_pair(position);
+            let bit = cube_value(inputs[slot]).expect("checked above");
+            assumptions.push(if bit { x2 } else { !x2 });
+        } else {
+            assumptions.push(session.input_eq(position));
+        }
+    }
+    assumptions.push(miter);
+    session.check_cone_property(&assumptions) == SolveResult::Unsat
 }
 
 /// Filters a list of `(candidate, suspected cube)` pairs down to those whose
-/// candidate is provably the strip function for that cube.
+/// candidate is provably the strip function for that cube, sharing one
+/// session across all checks.
 pub fn filter_by_equivalence(
     netlist: &Netlist,
     suspects: &[(NodeId, CubeAssignment)],
     h: usize,
 ) -> Vec<(NodeId, CubeAssignment)> {
+    let mut session = AttackSession::new(netlist);
     suspects
         .iter()
-        .filter(|(candidate, cube)| candidate_equals_strip(netlist, *candidate, cube, h))
+        .filter(|(candidate, cube)| candidate_equals_strip_in(&mut session, *candidate, cube, h))
         .cloned()
         .collect()
 }
@@ -107,9 +127,24 @@ mod tests {
     #[test]
     fn accepts_the_true_cube_and_rejects_others() {
         let (nl, out, xs) = stripper(6, 0b101100, 1);
-        assert!(candidate_equals_strip(&nl, out, &assignment(&xs, 0b101100), 1));
-        assert!(!candidate_equals_strip(&nl, out, &assignment(&xs, 0b101101), 1));
-        assert!(!candidate_equals_strip(&nl, out, &assignment(&xs, 0b101100), 2));
+        assert!(candidate_equals_strip(
+            &nl,
+            out,
+            &assignment(&xs, 0b101100),
+            1
+        ));
+        assert!(!candidate_equals_strip(
+            &nl,
+            out,
+            &assignment(&xs, 0b101101),
+            1
+        ));
+        assert!(!candidate_equals_strip(
+            &nl,
+            out,
+            &assignment(&xs, 0b101100),
+            2
+        ));
     }
 
     #[test]
@@ -118,8 +153,18 @@ mod tests {
         let optimized = strash(&nl);
         let out = optimized.outputs()[0].1;
         let xs: Vec<NodeId> = optimized.inputs().to_vec();
-        assert!(candidate_equals_strip(&optimized, out, &assignment(&xs, 0b010011), 2));
-        assert!(!candidate_equals_strip(&optimized, out, &assignment(&xs, 0b110011), 2));
+        assert!(candidate_equals_strip(
+            &optimized,
+            out,
+            &assignment(&xs, 0b010011),
+            2
+        ));
+        assert!(!candidate_equals_strip(
+            &optimized,
+            out,
+            &assignment(&xs, 0b110011),
+            2
+        ));
     }
 
     #[test]

@@ -9,38 +9,56 @@
 use std::collections::BTreeMap;
 
 use netlist::{Netlist, NodeId};
-use sat::{Lit, SolveResult};
+use sat::SolveResult;
 
-use super::pair::build_hd_pair;
+use super::pair::build_hd_query;
+use super::prefilter::satisfying_within_distance;
 use super::CubeAssignment;
+use crate::session::AttackSession;
 
-/// Runs the Distance2H analysis on a candidate node.
+/// Runs the Distance2H analysis on a candidate node using a throwaway
+/// session.  Prefer [`distance_2h_in`] when analysing several candidates of
+/// the same netlist.
+pub fn distance_2h(netlist: &Netlist, candidate: NodeId, h: usize) -> Option<CubeAssignment> {
+    let mut session = AttackSession::new(netlist);
+    distance_2h_in(&mut session, candidate, h)
+}
+
+/// Runs the Distance2H analysis on a candidate node through a shared attack
+/// session.
 ///
 /// `h` is the SFLL-HD parameter.  The analysis is complete only when
 /// `4h <= m` (otherwise the second query may be unsatisfiable for the real
 /// stripper as well); callers should consult
 /// [`super::Analysis::applicable`].
-pub fn distance_2h(netlist: &Netlist, candidate: NodeId, h: usize) -> Option<CubeAssignment> {
-    let mut pair = build_hd_pair(netlist, candidate, 2 * h)?;
-    if pair.solver.solve() != SolveResult::Sat {
+pub fn distance_2h_in(
+    session: &mut AttackSession<'_>,
+    candidate: NodeId,
+    h: usize,
+) -> Option<CubeAssignment> {
+    let query = build_hd_query(session, candidate, 2 * h)?;
+    if !satisfying_within_distance(session.netlist(), candidate, &query.inputs, 2 * h) {
         return None;
     }
-    let m1: Vec<bool> = pair
+    if session.check_cone_property(&query.base) != SolveResult::Sat {
+        return None;
+    }
+    let m1: Vec<bool> = query
         .x1
         .iter()
-        .map(|&l| pair.solver.value(l).expect("model"))
+        .map(|&l| session.value(l).expect("model"))
         .collect();
-    let m2: Vec<bool> = pair
+    let m2: Vec<bool> = query
         .x2
         .iter()
-        .map(|&l| pair.solver.value(l).expect("model"))
+        .map(|&l| session.value(l).expect("model"))
         .collect();
 
     let mut keys: BTreeMap<NodeId, bool> = BTreeMap::new();
     let mut disagreeing: Vec<usize> = Vec::new();
-    for i in 0..pair.inputs.len() {
+    for i in 0..query.inputs.len() {
         if m1[i] == m2[i] {
-            keys.insert(pair.inputs[i], m1[i]);
+            keys.insert(query.inputs[i], m1[i]);
         } else {
             disagreeing.push(i);
         }
@@ -48,34 +66,37 @@ pub fn distance_2h(netlist: &Netlist, candidate: NodeId, h: usize) -> Option<Cub
 
     if !disagreeing.is_empty() {
         // Second query: force all previously disagreeing positions to agree.
-        let assumptions: Vec<Lit> = disagreeing.iter().map(|&i| pair.eq[i]).collect();
-        if pair.solver.solve_with(&assumptions) != SolveResult::Sat {
+        let mut assumptions = query.base.clone();
+        assumptions.extend(disagreeing.iter().map(|&i| query.eq[i]));
+        if session.check_cone_property(&assumptions) != SolveResult::Sat {
             return None;
         }
-        for i in 0..pair.inputs.len() {
-            let v1 = pair.solver.value(pair.x1[i]).expect("model");
-            let v2 = pair.solver.value(pair.x2[i]).expect("model");
+        for i in 0..query.inputs.len() {
+            let v1 = session.value(query.x1[i]).expect("model");
+            let v2 = session.value(query.x2[i]).expect("model");
             if v1 == v2 {
-                keys.entry(pair.inputs[i]).or_insert(v1);
+                keys.entry(query.inputs[i]).or_insert(v1);
             }
         }
     }
 
-    if keys.len() != pair.inputs.len() {
+    if keys.len() != query.inputs.len() {
         return None;
     }
     Some(keys.into_iter().collect())
 }
 
-/// Convenience wrapper running [`distance_2h`] on several candidates.
+/// Convenience wrapper running [`distance_2h`] on several candidates through
+/// one shared session.
 pub fn distance_2h_all(
     netlist: &Netlist,
     candidates: &[NodeId],
     h: usize,
 ) -> Vec<(NodeId, Option<CubeAssignment>)> {
+    let mut session = AttackSession::new(netlist);
     candidates
         .iter()
-        .map(|&c| (c, distance_2h(netlist, c, h)))
+        .map(|&c| (c, distance_2h_in(&mut session, c, h)))
         .collect()
 }
 

@@ -9,15 +9,16 @@
 mod constraints;
 mod distance_2h;
 mod pair;
+mod prefilter;
 mod sliding_window;
 mod unateness;
 
 pub use constraints::{
     and2_lit, equal_lit, popcount_equals_lit, popcount_lits, require_popcount_equals, xor2_lit,
 };
-pub use distance_2h::{distance_2h, distance_2h_all};
-pub use sliding_window::{sliding_window, sliding_window_all};
-pub use unateness::analyze_unateness;
+pub use distance_2h::{distance_2h, distance_2h_all, distance_2h_in};
+pub use sliding_window::{sliding_window, sliding_window_all, sliding_window_in};
+pub use unateness::{analyze_unateness, analyze_unateness_in};
 
 use netlist::NodeId;
 
@@ -42,7 +43,11 @@ impl Analysis {
     /// the order the combined attack tries them.
     pub fn applicable(h: usize, m: usize) -> Vec<Analysis> {
         if h == 0 {
-            vec![Analysis::Unateness, Analysis::SlidingWindow, Analysis::Distance2H]
+            vec![
+                Analysis::Unateness,
+                Analysis::SlidingWindow,
+                Analysis::Distance2H,
+            ]
         } else {
             let mut v = Vec::new();
             if 4 * h <= m {

@@ -1,21 +1,28 @@
-//! Shared machinery for the Hamming-distance analyses: a solver preloaded
-//! with two copies of a candidate cone constrained to be simultaneously true
-//! at a fixed Hamming distance.
+//! Shared machinery for the Hamming-distance analyses: an assumption-query
+//! view of "two copies of a candidate cone, simultaneously true, at a fixed
+//! Hamming distance".
+//!
+//! The legacy implementation built a dedicated solver per candidate with the
+//! constraint set added as clauses.  The session version reuses the shared
+//! cone encodings and the **single** session-wide popcount network: the
+//! formula `F = c(X1) ∧ c(X2) ∧ HD(X1, X2) = d` is expressed purely as
+//! assumptions (`root1`, `root2`, the memoized `HD == d` literal, and
+//! pairwise-equality literals for every input outside the candidate's
+//! support), so building a query for a new candidate adds no clauses once
+//! the shared structure exists.
 
-use netlist::analysis::support;
-use netlist::cnf::{encode_cones, PinBinding};
-use netlist::{Netlist, NodeId};
-use sat::{Lit, Solver};
+use netlist::analysis::{input_positions, support};
+use netlist::NodeId;
+use sat::Lit;
 
-use super::constraints::{require_popcount_equals, xor2_lit};
+use crate::session::AttackSession;
 
-/// Two constrained copies of a candidate cone, ready for the SlidingWindow
-/// and Distance2H queries.
-pub(crate) struct HdPair {
-    /// Solver containing the formula `F` of Algorithms 2 and 3.
-    pub solver: Solver,
+/// An assumption-query for `c(X1) ∧ c(X2) ∧ HD(X1, X2) = distance`.
+pub(crate) struct HdPairQuery {
     /// The support inputs of the candidate, sorted by node id.
     pub inputs: Vec<NodeId>,
+    /// Base assumptions encoding the formula `F` of Algorithms 2 and 3.
+    pub base: Vec<Lit>,
     /// Literals of the support inputs in the first copy.
     pub x1: Vec<Lit>,
     /// Literals of the support inputs in the second copy.
@@ -24,15 +31,16 @@ pub(crate) struct HdPair {
     pub eq: Vec<Lit>,
 }
 
-/// Builds the formula `F = c(X1) ∧ c(X2) ∧ HD(X1, X2) = distance`.
+/// Builds the assumption query for a candidate at a given distance.
 ///
 /// Returns `None` if the candidate depends on key inputs, has an empty
 /// support, or the requested distance exceeds the support size.
-pub(crate) fn build_hd_pair(
-    netlist: &Netlist,
+pub(crate) fn build_hd_query(
+    session: &mut AttackSession<'_>,
     candidate: NodeId,
     distance: usize,
-) -> Option<HdPair> {
+) -> Option<HdPairQuery> {
+    let netlist = session.netlist();
     let sup = support(netlist, candidate);
     if !sup.keys.is_empty() || sup.primary.is_empty() {
         return None;
@@ -41,38 +49,37 @@ pub(crate) fn build_hd_pair(
     if distance > inputs.len() {
         return None;
     }
+    let positions = input_positions(netlist, &inputs);
 
-    let mut solver = Solver::new();
-    let copy1 = encode_cones(netlist, &mut solver, &[candidate], &PinBinding::default());
-    let copy2 = encode_cones(netlist, &mut solver, &[candidate], &PinBinding::default());
-    solver.add_clause([copy1.lit(candidate)]);
-    solver.add_clause([copy2.lit(candidate)]);
+    let (root1, root2) = session.cone_pair(candidate);
+    let hd = session.hd_equals(distance);
 
-    // Positions of the support inputs within the primary-input vector.
-    let positions: Vec<usize> = inputs
-        .iter()
-        .map(|&id| {
-            netlist
-                .inputs()
-                .iter()
-                .position(|&x| x == id)
-                .expect("support input is a primary input")
-        })
-        .collect();
-    let x1: Vec<Lit> = positions.iter().map(|&p| copy1.inputs[p]).collect();
-    let x2: Vec<Lit> = positions.iter().map(|&p| copy2.inputs[p]).collect();
+    let mut base: Vec<Lit> = vec![root1, root2, hd];
+    // Restrict the session-wide distance to the support: every position
+    // outside it is forced pairwise equal and contributes zero.
+    let mut in_support = vec![false; session.netlist().num_inputs()];
+    for &position in &positions {
+        in_support[position] = true;
+    }
+    for (position, &covered) in in_support.iter().enumerate() {
+        if !covered {
+            base.push(session.input_eq(position));
+        }
+    }
 
-    let diffs: Vec<Lit> = x1
-        .iter()
-        .zip(&x2)
-        .map(|(&a, &b)| xor2_lit(&mut solver, a, b))
-        .collect();
-    require_popcount_equals(&mut solver, &diffs, distance);
-    let eq: Vec<Lit> = diffs.iter().map(|&d| !d).collect();
+    let mut x1 = Vec::with_capacity(positions.len());
+    let mut x2 = Vec::with_capacity(positions.len());
+    let mut eq = Vec::with_capacity(positions.len());
+    for &position in &positions {
+        let (a, b) = session.input_pair(position);
+        x1.push(a);
+        x2.push(b);
+        eq.push(session.input_eq(position));
+    }
 
-    Some(HdPair {
-        solver,
+    Some(HdPairQuery {
         inputs,
+        base,
         x1,
         x2,
         eq,

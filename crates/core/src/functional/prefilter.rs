@@ -1,0 +1,180 @@
+//! Word-parallel simulation pre-filters for the functional analyses.
+//!
+//! Before issuing SAT queries, candidates are screened with the 64-way
+//! word-parallel simulator ([`netlist::Netlist::node_words`]): a few hundred
+//! random patterns often produce a concrete *witness* that rules a candidate
+//! (or one polarity of a variable) out.  All rejections are backed by
+//! explicit counterexamples, never by absence of evidence, so a **true cube
+//! stripper is never rejected** and recovered cubes are unchanged.  Spurious
+//! candidates (non-strippers that the unfiltered Hamming-distance analyses
+//! might still have turned into junk cubes for the equivalence check to
+//! discard) can additionally be filtered out here — a strict improvement,
+//! but not bit-for-bit identical shortlists when the equivalence check is
+//! disabled.
+
+use netlist::analysis::input_positions;
+use netlist::{Netlist, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Number of 64-pattern words simulated per filter (256 patterns).
+const WORDS: usize = 4;
+
+/// Fixed seed: the filters are part of deterministic analyses.
+const SEED: u64 = 0xFA11_F17E;
+
+/// For every support input of `candidate`, tests both unateness polarities on
+/// random patterns and reports which are still possible:
+/// `(may_be_positive, may_be_negative)`.
+///
+/// `false` entries are backed by an explicit monotonicity-violation witness,
+/// so the corresponding SAT query is guaranteed to come back satisfiable and
+/// can be skipped.  `(false, false)` for any variable proves the candidate is
+/// not unate at all.
+pub(crate) fn unateness_polarities(
+    netlist: &Netlist,
+    candidate: NodeId,
+    support: &[NodeId],
+) -> Vec<(bool, bool)> {
+    let positions = input_positions(netlist, support);
+    let num_inputs = netlist.num_inputs();
+    let num_keys = netlist.num_key_inputs();
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut result = vec![(true, true); support.len()];
+
+    for _ in 0..WORDS {
+        let base: Vec<u64> = (0..num_inputs).map(|_| rng.gen()).collect();
+        let keys: Vec<u64> = (0..num_keys).map(|_| rng.gen()).collect();
+        for (slot, &position) in positions.iter().enumerate() {
+            let (may_pos, may_neg) = result[slot];
+            if !may_pos && !may_neg {
+                continue;
+            }
+            let mut low = base.clone();
+            low[position] = 0;
+            let mut high = base.clone();
+            high[position] = !0u64;
+            let f0 = netlist
+                .node_words(&low, &keys)
+                .expect("widths are consistent")[candidate.index()];
+            let f1 = netlist
+                .node_words(&high, &keys)
+                .expect("widths are consistent")[candidate.index()];
+            // A pattern with f(x_i=0) > f(x_i=1) refutes positive unateness;
+            // the mirror image refutes negative unateness.
+            if f0 & !f1 != 0 {
+                result[slot].0 = false;
+            }
+            if !f0 & f1 != 0 {
+                result[slot].1 = false;
+            }
+        }
+    }
+    result
+}
+
+/// Tests whether random satisfying assignments of `candidate` stay within
+/// Hamming distance `max_distance` of each other over the support positions.
+///
+/// A cube-stripping function `HD(X, cube) == h` is satisfied only on the
+/// radius-`h` sphere around the cube, so any two satisfying assignments are
+/// within distance `2h`.  Finding two satisfying patterns further apart is a
+/// sound proof that the candidate is not the stripper for the assumed `h`.
+///
+/// Returns `false` only when such a witness pair was found.  Supports wider
+/// than 64 bits skip the filter (returns `true`).
+pub(crate) fn satisfying_within_distance(
+    netlist: &Netlist,
+    candidate: NodeId,
+    support: &[NodeId],
+    max_distance: usize,
+) -> bool {
+    if support.len() > 64 || max_distance >= support.len() {
+        return true;
+    }
+    let positions = input_positions(netlist, support);
+    let num_inputs = netlist.num_inputs();
+    let num_keys = netlist.num_key_inputs();
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 0x5EA9_C0DE);
+    let mut witnesses: Vec<u64> = Vec::new();
+
+    for _ in 0..WORDS {
+        let inputs: Vec<u64> = (0..num_inputs).map(|_| rng.gen()).collect();
+        let keys: Vec<u64> = (0..num_keys).map(|_| rng.gen()).collect();
+        let values = netlist
+            .node_words(&inputs, &keys)
+            .expect("widths are consistent");
+        let mut satisfied = values[candidate.index()];
+        while satisfied != 0 {
+            let bit = satisfied.trailing_zeros();
+            satisfied &= satisfied - 1;
+            let mut pattern = 0u64;
+            for (slot, &position) in positions.iter().enumerate() {
+                pattern |= ((inputs[position] >> bit) & 1) << slot;
+            }
+            for &earlier in &witnesses {
+                if (earlier ^ pattern).count_ones() as usize > max_distance {
+                    return false;
+                }
+            }
+            if witnesses.len() < 256 && !witnesses.contains(&pattern) {
+                witnesses.push(pattern);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::hamming::hamming_distance_equals_const;
+    use netlist::sim::pattern_to_bits;
+    use netlist::GateKind;
+
+    #[test]
+    fn xor_is_rejected_in_both_polarities() {
+        let mut nl = Netlist::new("xor");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let f = nl.add_gate("f", GateKind::Xor, &[a, b]);
+        nl.add_output("f", f);
+        let polarities = unateness_polarities(&nl, f, &[a, b]);
+        assert_eq!(polarities, vec![(false, false); 2]);
+    }
+
+    #[test]
+    fn and_keeps_only_the_positive_polarity() {
+        let mut nl = Netlist::new("and");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let f = nl.add_gate("f", GateKind::And, &[a, b]);
+        nl.add_output("f", f);
+        let polarities = unateness_polarities(&nl, f, &[a, b]);
+        for (may_pos, may_neg) in polarities {
+            assert!(may_pos, "AND is positive unate in every input");
+            assert!(!may_neg, "random patterns must witness the violation");
+        }
+    }
+
+    #[test]
+    fn stripper_satisfying_assignments_stay_on_the_sphere() {
+        let mut nl = Netlist::new("strip");
+        let xs: Vec<NodeId> = (0..6).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let cube = pattern_to_bits(0b101100, 6);
+        let out = hamming_distance_equals_const(&mut nl, &xs, &cube, 1);
+        nl.add_output("strip", out);
+        assert!(satisfying_within_distance(&nl, out, &xs, 2));
+    }
+
+    #[test]
+    fn wide_satisfiable_functions_are_rejected_for_small_h() {
+        // OR of six inputs is satisfied almost everywhere; random patterns
+        // easily find two satisfying assignments far apart.
+        let mut nl = Netlist::new("or");
+        let xs: Vec<NodeId> = (0..6).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let f = nl.add_gate("f", GateKind::Or, &xs);
+        nl.add_output("f", f);
+        assert!(!satisfying_within_distance(&nl, f, &xs, 2));
+    }
+}

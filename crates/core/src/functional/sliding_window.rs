@@ -10,43 +10,67 @@
 use netlist::{Netlist, NodeId};
 use sat::SolveResult;
 
-use super::pair::build_hd_pair;
+use super::pair::build_hd_query;
+use super::prefilter::satisfying_within_distance;
 use super::CubeAssignment;
+use crate::session::AttackSession;
 
-/// Runs the SlidingWindow analysis on a candidate node.
+/// Runs the SlidingWindow analysis on a candidate node using a throwaway
+/// session.  Prefer [`sliding_window_in`] when analysing several candidates
+/// of the same netlist.
+pub fn sliding_window(netlist: &Netlist, candidate: NodeId, h: usize) -> Option<CubeAssignment> {
+    let mut session = AttackSession::new(netlist);
+    sliding_window_in(&mut session, candidate, h)
+}
+
+/// Runs the SlidingWindow analysis on a candidate node through a shared
+/// attack session.
 ///
 /// `h` is the SFLL-HD parameter the adversary knows (§ II-A).  Returns the
 /// suspected protected cube, or `None` (⊥) if the node cannot be the cube
 /// stripping function.
-pub fn sliding_window(netlist: &Netlist, candidate: NodeId, h: usize) -> Option<CubeAssignment> {
-    let mut pair = build_hd_pair(netlist, candidate, 2 * h)?;
-    if pair.solver.solve() != SolveResult::Sat {
+pub fn sliding_window_in(
+    session: &mut AttackSession<'_>,
+    candidate: NodeId,
+    h: usize,
+) -> Option<CubeAssignment> {
+    let query = build_hd_query(session, candidate, 2 * h)?;
+    // Word-parallel pre-filter: two satisfying assignments further than 2h
+    // apart prove the candidate is not a radius-h sphere function.
+    if !satisfying_within_distance(session.netlist(), candidate, &query.inputs, 2 * h) {
         return None;
     }
-    let m1: Vec<bool> = pair
+    if session.check_cone_property(&query.base) != SolveResult::Sat {
+        return None;
+    }
+    let m1: Vec<bool> = query
         .x1
         .iter()
-        .map(|&l| pair.solver.value(l).expect("model"))
+        .map(|&l| session.value(l).expect("model"))
         .collect();
-    let m2: Vec<bool> = pair
+    let m2: Vec<bool> = query
         .x2
         .iter()
-        .map(|&l| pair.solver.value(l).expect("model"))
+        .map(|&l| session.value(l).expect("model"))
         .collect();
 
-    let mut assignment: CubeAssignment = Vec::with_capacity(pair.inputs.len());
-    for i in 0..pair.inputs.len() {
-        let xi = pair.inputs[i];
+    let mut assignment: CubeAssignment = Vec::with_capacity(query.inputs.len());
+    for i in 0..query.inputs.len() {
+        let xi = query.inputs[i];
         if m1[i] == m2[i] {
             assignment.push((xi, m1[i]));
             continue;
         }
         // Lemma 3 query for both possible values of the disagreeing bit.
-        let value_lit = |value: bool| if value { pair.x2[i] } else { !pair.x2[i] };
-        let sat_with_m1 =
-            pair.solver.solve_with(&[pair.eq[i], value_lit(m1[i])]) == SolveResult::Sat;
-        let sat_with_m2 =
-            pair.solver.solve_with(&[pair.eq[i], value_lit(m2[i])]) == SolveResult::Sat;
+        let value_lit = |value: bool| if value { query.x2[i] } else { !query.x2[i] };
+        let solve_pinned = |session: &mut AttackSession<'_>, value: bool| {
+            let mut assumptions = query.base.clone();
+            assumptions.push(query.eq[i]);
+            assumptions.push(value_lit(value));
+            session.check_cone_property(&assumptions) == SolveResult::Sat
+        };
+        let sat_with_m1 = solve_pinned(session, m1[i]);
+        let sat_with_m2 = solve_pinned(session, m2[i]);
         match (sat_with_m1, sat_with_m2) {
             (true, false) => assignment.push((xi, m1[i])),
             (false, true) => assignment.push((xi, m2[i])),
@@ -56,16 +80,17 @@ pub fn sliding_window(netlist: &Netlist, candidate: NodeId, h: usize) -> Option<
     Some(assignment)
 }
 
-/// Convenience wrapper running [`sliding_window`] on several candidates and
-/// returning the per-candidate results.
+/// Convenience wrapper running [`sliding_window`] on several candidates
+/// through one shared session and returning the per-candidate results.
 pub fn sliding_window_all(
     netlist: &Netlist,
     candidates: &[NodeId],
     h: usize,
 ) -> Vec<(NodeId, Option<CubeAssignment>)> {
+    let mut session = AttackSession::new(netlist);
     candidates
         .iter()
-        .map(|&c| (c, sliding_window(netlist, c, h)))
+        .map(|&c| (c, sliding_window_in(&mut session, c, h)))
         .collect()
 }
 
@@ -89,7 +114,11 @@ mod tests {
 
     #[test]
     fn recovers_cube_for_various_h() {
-        for (m, cube, h) in [(6usize, 0b101101u64, 1usize), (6, 0b010011, 2), (8, 0xA5, 2)] {
+        for (m, cube, h) in [
+            (6usize, 0b101101u64, 1usize),
+            (6, 0b010011, 2),
+            (8, 0xA5, 2),
+        ] {
             let (nl, out, xs) = stripper(m, cube, h);
             let got = sliding_window(&nl, out, h).expect("cube recovered");
             let expected: CubeAssignment = xs

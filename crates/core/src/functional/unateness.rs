@@ -2,17 +2,35 @@
 //!
 //! The cube stripping function of TTLock is a single cube, which is unate in
 //! every variable: positive unate in `x_i` iff the protected cube has
-//! `k_i = 1`, negative unate iff `k_i = 0`.  Checking unateness per variable
-//! needs two SAT queries over two cofactor copies of the candidate cone.
+//! `k_i = 1`, negative unate iff `k_i = 0`.
+//!
+//! The session-based implementation encodes the candidate cone **once** per
+//! input space (memoized across candidates by [`AttackSession`]) and checks
+//! each cofactor pair with a pure assumption query: copy 1 plays
+//! `f(x_i = 0)`, copy 2 plays `f(x_i = 1)`, all other support inputs are
+//! forced pairwise equal through the session's shared difference vector.
+//! A 64-way random-simulation pre-filter first rules out polarities (or the
+//! whole candidate) whenever a concrete monotonicity violation exists, which
+//! skips the corresponding SAT queries without changing any result.
 
-use netlist::analysis::support;
-use netlist::cnf::{encode_cones, PinBinding};
+use netlist::analysis::{input_positions, support};
 use netlist::{Netlist, NodeId};
-use sat::{Lit, SolveResult, Solver};
+use sat::{Lit, SolveResult};
 
+use super::prefilter::unateness_polarities;
 use super::CubeAssignment;
+use crate::session::AttackSession;
 
-/// Runs the unateness analysis on a candidate node.
+/// Runs the unateness analysis on a candidate node using a throwaway
+/// session.  Prefer [`analyze_unateness_in`] when analysing several
+/// candidates of the same netlist.
+pub fn analyze_unateness(netlist: &Netlist, candidate: NodeId) -> Option<CubeAssignment> {
+    let mut session = AttackSession::new(netlist);
+    analyze_unateness_in(&mut session, candidate)
+}
+
+/// Runs the unateness analysis on a candidate node through a shared attack
+/// session.
 ///
 /// Returns the suspected protected cube (one value per support input, sorted
 /// by node id) if the node is unate in every support variable, or `None` (⊥)
@@ -20,24 +38,59 @@ use super::CubeAssignment;
 ///
 /// Variables the function does not actually depend on are reported as
 /// positive unate (value 1), mirroring the order of checks in Algorithm 1.
-pub fn analyze_unateness(netlist: &Netlist, candidate: NodeId) -> Option<CubeAssignment> {
+pub fn analyze_unateness_in(
+    session: &mut AttackSession<'_>,
+    candidate: NodeId,
+) -> Option<CubeAssignment> {
+    let netlist = session.netlist();
     let sup = support(netlist, candidate);
     if !sup.keys.is_empty() || sup.primary.is_empty() {
         return None;
     }
     let inputs: Vec<NodeId> = sup.primary.iter().copied().collect();
+    let positions = input_positions(netlist, &inputs);
 
-    let mut solver = Solver::new();
-    let mut assignment = Vec::with_capacity(inputs.len());
-    for &xi in &inputs {
-        let (f0, f1) = encode_cofactor_pair(netlist, &mut solver, candidate, xi);
+    // Word-parallel pre-filter: polarities refuted by an explicit witness
+    // need no SAT query; a candidate refuted in both polarities of any
+    // variable is rejected outright.
+    let polarities = unateness_polarities(netlist, candidate, &inputs);
+    if polarities.iter().any(|&(p, n)| !p && !n) {
+        return None;
+    }
+
+    let (root1, root2) = session.cone_pair(candidate);
+    let mut assignment: CubeAssignment = Vec::with_capacity(inputs.len());
+    for (slot, &xi) in inputs.iter().enumerate() {
+        let (may_pos, may_neg) = polarities[slot];
+        // Cofactor assumptions: x_i = 0 in copy 1, x_i = 1 in copy 2, every
+        // other support input pairwise equal.
+        let (x1, x2) = session.input_pair(positions[slot]);
+        let mut base: Vec<Lit> = Vec::with_capacity(inputs.len() + 3);
+        for (other, &position) in positions.iter().enumerate() {
+            if other != slot {
+                base.push(session.input_eq(position));
+            }
+        }
+        base.push(!x1);
+        base.push(x2);
+
         // Positive unate: f(x_i = 0) <= f(x_i = 1), i.e. f0 & !f1 unsatisfiable.
-        let positive = solver.solve_with(&[f0, !f1]) == SolveResult::Unsat;
+        let positive = may_pos && {
+            let mut q = base.clone();
+            q.push(root1);
+            q.push(!root2);
+            session.check_cone_property(&q) == SolveResult::Unsat
+        };
         if positive {
             assignment.push((xi, true));
             continue;
         }
-        let negative = solver.solve_with(&[!f0, f1]) == SolveResult::Unsat;
+        let negative = may_neg && {
+            let mut q = base;
+            q.push(!root1);
+            q.push(root2);
+            session.check_cone_property(&q) == SolveResult::Unsat
+        };
         if negative {
             assignment.push((xi, false));
         } else {
@@ -45,58 +98,6 @@ pub fn analyze_unateness(netlist: &Netlist, candidate: NodeId) -> Option<CubeAss
         }
     }
     Some(assignment)
-}
-
-/// Encodes two copies of the candidate cone that share every input except
-/// `xi`, which is fixed to 0 in the first copy and to 1 in the second.
-/// Returns the two root literals.
-fn encode_cofactor_pair(
-    netlist: &Netlist,
-    solver: &mut Solver,
-    candidate: NodeId,
-    xi: NodeId,
-) -> (Lit, Lit) {
-    let shared: Vec<Lit> = (0..netlist.num_inputs())
-        .map(|_| Lit::positive(solver.new_var()))
-        .collect();
-    let keys: Vec<Lit> = (0..netlist.num_key_inputs())
-        .map(|_| Lit::positive(solver.new_var()))
-        .collect();
-    let position = netlist
-        .inputs()
-        .iter()
-        .position(|&id| id == xi)
-        .expect("xi is a primary input");
-
-    let mut low_inputs = shared.clone();
-    let low_pin = Lit::positive(solver.new_var());
-    solver.add_clause([!low_pin]);
-    low_inputs[position] = low_pin;
-
-    let mut high_inputs = shared;
-    let high_pin = Lit::positive(solver.new_var());
-    solver.add_clause([high_pin]);
-    high_inputs[position] = high_pin;
-
-    let low = encode_cones(
-        netlist,
-        solver,
-        &[candidate],
-        &PinBinding {
-            inputs: Some(low_inputs),
-            keys: Some(keys.clone()),
-        },
-    );
-    let high = encode_cones(
-        netlist,
-        solver,
-        &[candidate],
-        &PinBinding {
-            inputs: Some(high_inputs),
-            keys: Some(keys),
-        },
-    );
-    (low.lit(candidate), high.lit(candidate))
 }
 
 #[cfg(test)]
@@ -121,10 +122,7 @@ mod tests {
         nl.add_output("f", f);
 
         let cube = analyze_unateness(&nl, f).expect("cube found");
-        assert_eq!(
-            cube,
-            vec![(a, true), (b, false), (c, false), (d, true)]
-        );
+        assert_eq!(cube, vec![(a, true), (b, false), (c, false), (d, true)]);
     }
 
     #[test]
@@ -144,10 +142,31 @@ mod tests {
         let b = nl.add_input("b");
         let f = nl.add_gate("f", GateKind::Or, &[a, b]);
         nl.add_output("f", f);
-        assert_eq!(
-            analyze_unateness(&nl, f),
-            Some(vec![(a, true), (b, true)])
-        );
+        assert_eq!(analyze_unateness(&nl, f), Some(vec![(a, true), (b, true)]));
+    }
+
+    #[test]
+    fn shared_session_analyses_agree_with_standalone_ones() {
+        let mut nl = Netlist::new("multi");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let nb = nl.add_gate("nb", GateKind::Not, &[b]);
+        let f = nl.add_gate("f", GateKind::And, &[a, nb, c]);
+        let g = nl.add_gate("g", GateKind::Or, &[a, b]);
+        let h = nl.add_gate("h", GateKind::Xor, &[a, c]);
+        nl.add_output("f", f);
+        nl.add_output("g", g);
+        nl.add_output("h", h);
+
+        let mut session = AttackSession::new(&nl);
+        for candidate in [f, g, h] {
+            assert_eq!(
+                analyze_unateness_in(&mut session, candidate),
+                analyze_unateness(&nl, candidate),
+                "candidate {candidate:?}"
+            );
+        }
     }
 
     #[test]
@@ -159,9 +178,10 @@ mod tests {
         // Use the structural stages to find the cube stripper candidates.
         let comparators = crate::structural::find_comparators(&optimized);
         let candidates = crate::structural::find_candidates(&optimized, &comparators);
+        let mut session = AttackSession::new(&optimized);
         let mut recovered = None;
         for &cand in &candidates.candidates {
-            if let Some(cube) = analyze_unateness(&optimized, cand) {
+            if let Some(cube) = analyze_unateness_in(&mut session, cand) {
                 recovered = Some(cube);
                 break;
             }
@@ -169,11 +189,10 @@ mod tests {
         let recovered = recovered.expect("some candidate is unate");
         // Map the recovered cube back to key bits through the comparator pairing.
         let mut key_bits = vec![false; 6];
-        for (pos, (&input, &key)) in candidates
+        for (&input, &key) in candidates
             .protected_inputs
             .iter()
             .zip(&candidates.paired_keys)
-            .enumerate()
         {
             let value = recovered
                 .iter()
@@ -186,7 +205,6 @@ mod tests {
                 .position(|&k| k == key)
                 .expect("key input");
             key_bits[key_index] = value;
-            let _ = pos;
         }
         assert_eq!(key_bits, locked.key.bits());
     }

@@ -115,7 +115,7 @@ pub fn guess_keys(locked: &Netlist, config: &GuessConfig) -> Vec<KeyGuess> {
             });
         }
     }
-    guesses.sort_by(|a, b| b.support_samples.cmp(&a.support_samples));
+    guesses.sort_by_key(|g| std::cmp::Reverse(g.support_samples));
     guesses.truncate(config.max_guesses);
     guesses
 }
@@ -181,7 +181,11 @@ mod tests {
     #[test]
     fn guesses_include_the_correct_key_for_small_sfll() {
         let original = generate(&RandomCircuitSpec::new("guess", 12, 3, 90));
-        let locked = SfllHd::new(8, 1).with_seed(21).lock(&original).expect("lock").optimized();
+        let locked = SfllHd::new(8, 1)
+            .with_seed(21)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let guesses = guess_keys(&locked.locked, &GuessConfig::default());
         assert!(
             guesses.iter().any(|g| g.key == locked.key),
@@ -193,7 +197,11 @@ mod tests {
     #[test]
     fn guesses_include_the_correct_key_for_ttlock() {
         let original = generate(&RandomCircuitSpec::new("guess_tt", 12, 3, 90));
-        let locked = TtLock::new(8).with_seed(5).lock(&original).expect("lock").optimized();
+        let locked = TtLock::new(8)
+            .with_seed(5)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let config = GuessConfig {
             samples: 1 << 15,
             min_hits: 1,
@@ -206,7 +214,11 @@ mod tests {
     #[test]
     fn key_confirmation_turns_a_guess_into_a_proven_key() {
         let original = generate(&RandomCircuitSpec::new("guess_kc", 12, 3, 100));
-        let locked = SfllHd::new(8, 1).with_seed(2).lock(&original).expect("lock").optimized();
+        let locked = SfllHd::new(8, 1)
+            .with_seed(2)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let guesses = guess_keys(&locked.locked, &GuessConfig::default());
         assert!(!guesses.is_empty());
         let shortlist: Vec<Key> = guesses.iter().map(|g| g.key.clone()).collect();
@@ -224,7 +236,11 @@ mod tests {
     #[test]
     fn returns_nothing_for_non_cube_stripping_schemes() {
         let original = generate(&RandomCircuitSpec::new("guess_xor", 12, 3, 90));
-        let locked = XorLock::new(8).with_seed(4).lock(&original).expect("lock").optimized();
+        let locked = XorLock::new(8)
+            .with_seed(4)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let guesses = guess_keys(&locked.locked, &GuessConfig::default());
         // Random XOR locking has no cube stripper; whatever is returned must
         // at least not be presented with high confidence.
@@ -234,7 +250,11 @@ mod tests {
     #[test]
     fn sampling_budget_is_respected_gracefully() {
         let original = generate(&RandomCircuitSpec::new("guess_budget", 12, 3, 90));
-        let locked = SfllHd::new(10, 1).with_seed(9).lock(&original).expect("lock").optimized();
+        let locked = SfllHd::new(10, 1)
+            .with_seed(9)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         // With a tiny sample budget and a high hit requirement the heuristic
         // must simply return nothing instead of a low-confidence guess.
         let config = GuessConfig {

@@ -19,6 +19,7 @@ use crate::encode::{
     instantiate_sharing_keys, model_key, model_values,
 };
 use crate::oracle::Oracle;
+use crate::session::{AttackSession, KeyVector};
 
 /// Configuration for key confirmation.
 #[derive(Clone, Debug)]
@@ -72,29 +73,53 @@ pub fn key_confirmation(
     suspected_keys: &[Key],
     config: &KeyConfirmationConfig,
 ) -> KeyConfirmationResult {
+    let mut session = AttackSession::new(locked);
+    key_confirmation_in(&mut session, oracle, suspected_keys, config)
+}
+
+/// Runs key confirmation over a shortlist through an existing session (see
+/// [`key_confirmation`]).
+///
+/// # Panics
+///
+/// Panics if the shortlist is empty or a key width does not match the locked
+/// circuit.
+pub fn key_confirmation_in(
+    session: &mut AttackSession<'_>,
+    oracle: &dyn Oracle,
+    suspected_keys: &[Key],
+    config: &KeyConfirmationConfig,
+) -> KeyConfirmationResult {
     assert!(!suspected_keys.is_empty(), "shortlist must not be empty");
     for key in suspected_keys {
         assert_eq!(
             key.len(),
-            locked.num_key_inputs(),
+            session.netlist().num_key_inputs(),
             "suspected key width does not match the circuit"
         );
     }
-    key_confirmation_with_predicate(locked, oracle, config, |solver, key_lits| {
-        // ϕ(K) = OR over shortlisted keys of (K == key_j), encoded with one
-        // selector variable per shortlisted key.
-        let selectors: Vec<Lit> = suspected_keys
-            .iter()
-            .map(|key| {
-                let selector = Lit::positive(solver.new_var());
-                for (&lit, &bit) in key_lits.iter().zip(key.bits()) {
-                    solver.add_clause([!selector, if bit { lit } else { !lit }]);
-                }
-                selector
-            })
-            .collect();
-        solver.add_clause(selectors);
+    key_confirmation_with_predicate_in(session, oracle, config, |solver, key_lits| {
+        add_shortlist_phi(solver, key_lits, suspected_keys);
     })
+}
+
+/// Encodes ϕ(K) = OR over shortlisted keys of (K == key_j), with one
+/// selector variable per shortlisted key.
+///
+/// Shared by the session path and the fresh baseline so the two stay
+/// provably identical for differential testing.
+fn add_shortlist_phi(solver: &mut Solver, key_lits: &[Lit], suspected_keys: &[Key]) {
+    let selectors: Vec<Lit> = suspected_keys
+        .iter()
+        .map(|key| {
+            let selector = Lit::positive(solver.new_var());
+            for (&lit, &bit) in key_lits.iter().zip(key.bits()) {
+                solver.add_clause([!selector, if bit { lit } else { !lit }]);
+            }
+            selector
+        })
+        .collect();
+    solver.add_clause(selectors);
 }
 
 /// Runs key confirmation with an arbitrary key predicate ϕ.
@@ -111,6 +136,123 @@ pub fn key_confirmation_with_predicate<F>(
 where
     F: FnOnce(&mut Solver, &[Lit]),
 {
+    let mut session = AttackSession::new(locked);
+    key_confirmation_with_predicate_in(&mut session, oracle, config, add_phi)
+}
+
+/// Session-based key confirmation with an arbitrary predicate ϕ.
+///
+/// The whole algorithm runs inside one persistent solver: the two-copy
+/// distinguishing formula `Q` is encoded once with its difference constraint
+/// scoped to an activation frame, the predicate vector `Kϕ` carries ϕ plus
+/// the accumulated I/O pairs, and the `P`/`Q` queries of Algorithm 4
+/// alternate on the same solver — `P` with the difference constraint dormant,
+/// `Q` with it activated and `K1` assumed equal to the candidate.  Learnt
+/// clauses from either query speed up the other; per-iteration I/O pairs are
+/// constant-folded so only the key cone is encoded.
+pub fn key_confirmation_with_predicate_in<F>(
+    session: &mut AttackSession<'_>,
+    oracle: &dyn Oracle,
+    config: &KeyConfirmationConfig,
+    add_phi: F,
+) -> KeyConfirmationResult
+where
+    F: FnOnce(&mut Solver, &[Lit]),
+{
+    assert_eq!(
+        oracle.num_inputs(),
+        session.netlist().num_inputs(),
+        "oracle width does not match the locked circuit"
+    );
+    let start = Instant::now();
+    session.set_conflict_budget(config.conflict_budget);
+
+    let phi_keys = session.predicate_keys();
+    add_phi(session.solver_mut(), &phi_keys);
+
+    let mut iterations = 0usize;
+    let mut oracle_queries = 0usize;
+    let unfinished =
+        |key: Option<Key>, iterations, oracle_queries, elapsed| KeyConfirmationResult {
+            key,
+            completed: false,
+            iterations,
+            oracle_queries,
+            elapsed,
+        };
+
+    loop {
+        if iterations >= config.max_iterations
+            || config
+                .time_limit
+                .is_some_and(|limit| start.elapsed() >= limit)
+        {
+            return unfinished(None, iterations, oracle_queries, start.elapsed());
+        }
+
+        // Line 6: extract a candidate key consistent with ϕ and the I/O pairs.
+        let candidate = match session.candidate_key() {
+            (SolveResult::Unsat, _) => {
+                // ⊥: no key satisfying ϕ is consistent with the oracle.
+                return KeyConfirmationResult {
+                    key: None,
+                    completed: true,
+                    iterations,
+                    oracle_queries,
+                    elapsed: start.elapsed(),
+                };
+            }
+            (SolveResult::Unknown, _) => {
+                return unfinished(None, iterations, oracle_queries, start.elapsed())
+            }
+            (SolveResult::Sat, key) => key.expect("sat result carries a key"),
+        };
+
+        // Line 10: look for a distinguishing input with K1 fixed to the candidate.
+        match session.find_dip_against(&candidate) {
+            SolveResult::Unsat => {
+                // No distinguishing input remains: the candidate is correct.
+                return KeyConfirmationResult {
+                    key: Some(candidate),
+                    completed: true,
+                    iterations,
+                    oracle_queries,
+                    elapsed: start.elapsed(),
+                };
+            }
+            SolveResult::Unknown => {
+                return unfinished(None, iterations, oracle_queries, start.elapsed())
+            }
+            SolveResult::Sat => {}
+        }
+        iterations += 1;
+        let distinguishing_input = session.dip_inputs();
+        let observed_output = oracle.query(&distinguishing_input);
+        oracle_queries += 1;
+
+        // Lines 15–16: add the observed I/O pair to both formulas.
+        session.constrain_key_with_io(
+            KeyVector::Predicate,
+            &distinguishing_input,
+            &observed_output,
+        );
+        session.constrain_key_with_io(KeyVector::B, &distinguishing_input, &observed_output);
+    }
+}
+
+/// The pre-session key confirmation: two dedicated solvers and full
+/// re-encoding per query.
+///
+/// Kept as the ablation baseline for the `incremental_vs_fresh` benchmark
+/// and as a differential-testing reference; new code should use
+/// [`key_confirmation`].
+pub fn key_confirmation_fresh(
+    locked: &Netlist,
+    oracle: &dyn Oracle,
+    suspected_keys: &[Key],
+    config: &KeyConfirmationConfig,
+) -> KeyConfirmationResult {
+    assert!(!suspected_keys.is_empty(), "shortlist must not be empty");
     assert_eq!(
         oracle.num_inputs(),
         locked.num_inputs(),
@@ -124,7 +266,7 @@ where
     let p_keys: Vec<Lit> = (0..locked.num_key_inputs())
         .map(|_| Lit::positive(p_solver.new_var()))
         .collect();
-    add_phi(&mut p_solver, &p_keys);
+    add_shortlist_phi(&mut p_solver, &p_keys, suspected_keys);
 
     // Q: produces distinguishing inputs between K1 (assumed equal to the
     // candidate) and any other key K2 consistent with the observed I/O pairs.
@@ -137,27 +279,26 @@ where
 
     let mut iterations = 0usize;
     let mut oracle_queries = 0usize;
-    let unfinished = |key: Option<Key>, iterations, oracle_queries, elapsed| KeyConfirmationResult {
-        key,
-        completed: false,
-        iterations,
-        oracle_queries,
-        elapsed,
-    };
+    let unfinished =
+        |key: Option<Key>, iterations, oracle_queries, elapsed| KeyConfirmationResult {
+            key,
+            completed: false,
+            iterations,
+            oracle_queries,
+            elapsed,
+        };
 
     loop {
         if iterations >= config.max_iterations
             || config
                 .time_limit
-                .map_or(false, |limit| start.elapsed() >= limit)
+                .is_some_and(|limit| start.elapsed() >= limit)
         {
             return unfinished(None, iterations, oracle_queries, start.elapsed());
         }
 
-        // Line 6: extract a candidate key consistent with ϕ and the I/O pairs.
         let candidate = match p_solver.solve() {
             SolveResult::Unsat => {
-                // ⊥: no key satisfying ϕ is consistent with the oracle.
                 return KeyConfirmationResult {
                     key: None,
                     completed: true,
@@ -172,11 +313,9 @@ where
             SolveResult::Sat => model_key(&p_solver, &p_keys),
         };
 
-        // Line 10: look for a distinguishing input with K1 fixed to the candidate.
         let assumptions = assumptions_for(&q_copy1.keys, candidate.bits());
         match q_solver.solve_with(&assumptions) {
             SolveResult::Unsat => {
-                // No distinguishing input remains: the candidate is correct.
                 return KeyConfirmationResult {
                     key: Some(candidate),
                     completed: true,
@@ -195,7 +334,6 @@ where
         let observed_output = oracle.query(&distinguishing_input);
         oracle_queries += 1;
 
-        // Lines 15–16: add the observed I/O pair to both formulas.
         let p_constrained = instantiate_sharing_keys(locked, &mut p_solver, &p_keys);
         constrain_equal_const(&mut p_solver, &p_constrained.inputs, &distinguishing_input);
         constrain_equal_const(&mut p_solver, &p_constrained.outputs, &observed_output);
@@ -225,9 +363,8 @@ pub fn partitioned_key_search(
     let start = Instant::now();
     for region in 0..(1u64 << partition_bits) {
         let result = key_confirmation_with_predicate(locked, oracle, config, |solver, keys| {
-            for bit in 0..partition_bits {
+            for (bit, &lit) in keys.iter().enumerate().take(partition_bits) {
                 let value = (region >> bit) & 1 == 1;
-                let lit = keys[bit];
                 solver.add_clause([if value { lit } else { !lit }]);
             }
         });
@@ -269,7 +406,10 @@ mod tests {
 
     fn locked_sfll(h: usize) -> (netlist::Netlist, locking::LockedCircuit) {
         let original = generate(&RandomCircuitSpec::new("kc", 12, 3, 80));
-        let locked = SfllHd::new(10, h).with_seed(23).lock(&original).expect("lock");
+        let locked = SfllHd::new(10, h)
+            .with_seed(23)
+            .lock(&original)
+            .expect("lock");
         (original, locked)
     }
 
@@ -334,7 +474,10 @@ mod tests {
     #[test]
     fn predicate_true_behaves_like_the_sat_attack() {
         let original = generate(&RandomCircuitSpec::new("kc_free", 8, 2, 50));
-        let locked = SfllHd::new(4, 0).with_seed(9).lock(&original).expect("lock");
+        let locked = SfllHd::new(4, 0)
+            .with_seed(9)
+            .lock(&original)
+            .expect("lock");
         let oracle = SimOracle::new(original.clone());
         let result = key_confirmation_with_predicate(
             &locked.locked,
@@ -348,9 +491,45 @@ mod tests {
     }
 
     #[test]
+    fn incremental_and_fresh_confirmation_agree() {
+        let (original, locked) = locked_sfll(1);
+        let oracle = SimOracle::new(original);
+        for shortlist in [
+            vec![locked.key.clone(), locked.key.complement()],
+            vec![locked.key.complement(), Key::zeros(10)],
+            vec![
+                Key::zeros(10),
+                locked.key.clone(),
+                Key::from_pattern(0x155, 10),
+            ],
+        ] {
+            let incremental = key_confirmation(
+                &locked.locked,
+                &oracle,
+                &shortlist,
+                &KeyConfirmationConfig::default(),
+            );
+            let fresh = key_confirmation_fresh(
+                &locked.locked,
+                &oracle,
+                &shortlist,
+                &KeyConfirmationConfig::default(),
+            );
+            assert!(incremental.completed && fresh.completed);
+            assert_eq!(
+                incremental.key, fresh.key,
+                "shortlist {shortlist:?} must confirm the same key"
+            );
+        }
+    }
+
+    #[test]
     fn partitioned_search_finds_the_key() {
         let original = generate(&RandomCircuitSpec::new("kc_part", 8, 2, 50));
-        let locked = SfllHd::new(5, 0).with_seed(2).lock(&original).expect("lock");
+        let locked = SfllHd::new(5, 0)
+            .with_seed(2)
+            .lock(&original)
+            .expect("lock");
         let oracle = SimOracle::new(original);
         let result = partitioned_key_search(
             &locked.locked,

@@ -21,6 +21,12 @@
 //! implemented in [`sat_attack`] as the baseline the paper compares against,
 //! and [`attack::fall_attack`] wires all stages together (Figure 4).
 //!
+//! All SAT interaction runs through one persistent [`session::AttackSession`]
+//! per attack: circuit copies are encoded once, candidate cones are memoized
+//! across queries, and temporary constraints live in solver activation
+//! frames, so learnt clauses accumulate across the entire attack instead of
+//! being discarded per query.
+//!
 //! # Example: break SFLL-HD without an oracle
 //!
 //! ```
@@ -48,6 +54,7 @@ pub mod heuristics;
 pub mod key_confirmation;
 pub mod oracle;
 pub mod sat_attack;
+pub mod session;
 pub mod structural;
 pub mod unlock;
 
@@ -55,3 +62,4 @@ pub use attack::{fall_attack, FallAttackConfig, FallAttackResult, FallStatus};
 pub use key_confirmation::{key_confirmation, KeyConfirmationConfig, KeyConfirmationResult};
 pub use oracle::{CountingOracle, Oracle, SimOracle};
 pub use sat_attack::{sat_attack, SatAttackConfig, SatAttackResult, SatAttackStatus};
+pub use session::{AttackSession, KeyVector};

@@ -1,0 +1,702 @@
+//! The incremental attack session: one persistent solver plus cached circuit
+//! encodings shared by every attack stage.
+//!
+//! Every attack in this crate used to allocate a fresh [`sat::Solver`] and
+//! re-encode the locked netlist for each query.  Modern CDCL solvers win
+//! precisely by keeping learnt clauses, variable activities and saved phases
+//! alive across related queries, so [`AttackSession`] centralises all SAT
+//! interaction behind one persistent solver per attack run:
+//!
+//! * **DIP machinery** — the two shared-input circuit copies of the SAT
+//!   attack are encoded **once**; the "outputs differ" constraint lives in an
+//!   activation frame so it can be switched off (for key extraction and the
+//!   key-confirmation candidate query) or retired without losing learnt
+//!   clauses.  Each observed I/O pair is added through
+//!   [`netlist::cnf::encode_with_fixed_inputs`], which constant-folds all
+//!   key-independent logic, so the distinguishing-input loop performs **zero
+//!   solver allocations** and encodes only the key cone per iteration.
+//! * **Cone machinery** — the functional analyses (unateness, sliding
+//!   window, distance-2h) and the equivalence check all operate on candidate
+//!   cones over two input spaces `X1`/`X2`.  The session memoizes cone
+//!   encodings across queries (overlapping cones are encoded once, via
+//!   [`netlist::cnf::IncrementalEncoder`]), plus one global per-position
+//!   difference vector and **one** shared popcount network whose
+//!   "count = k" literals serve every Hamming-distance query.  All analysis
+//!   queries are pure assumption queries: after the shared structure exists,
+//!   a cofactor or HD-pair check adds no clauses at all.
+
+use std::collections::BTreeMap;
+
+use locking::Key;
+use netlist::cnf::{encode_any_difference, encode_with_fixed_inputs, Signal};
+use netlist::cnf::{IncrementalEncoder, PinBinding};
+use netlist::{Netlist, NodeId};
+use sat::{FrameId, Lit, SolveResult, Solver, SolverStats};
+
+use crate::encode::{
+    assumptions_for, instantiate, instantiate_sharing_inputs, model_key, model_values, CircuitCopy,
+};
+use crate::functional::{and2_lit, popcount_lits, xor2_lit};
+
+/// Which of the session's key-literal vectors an I/O constraint applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyVector {
+    /// The first key copy `K1` of the two-copy DIP formula.
+    A,
+    /// The second key copy `K2` of the two-copy DIP formula.
+    B,
+    /// The standalone predicate key vector used by key confirmation
+    /// (created on first use by [`AttackSession::predicate_keys`]).
+    Predicate,
+}
+
+/// The two shared-input circuit copies plus the scoped difference constraint.
+struct DipParts {
+    inputs: Vec<Lit>,
+    key_a: Vec<Lit>,
+    key_b: Vec<Lit>,
+    /// Literal asserting "the two output vectors differ".
+    diff_lit: Lit,
+    /// Frame scoping the difference constraint; re-armed after retirement so
+    /// a session stays usable for further DIP queries.
+    diff_frame: FrameId,
+    /// Frame scoping the I/O constraints on `K1`.  The SAT attack's queries
+    /// activate it; the key-confirmation `Q` query must not — there `K1` is
+    /// pinned to an unvetted candidate, and a leftover I/O clause would turn
+    /// "candidate contradicts old observations" into a spurious Unsat, i.e.
+    /// a wrong key reported as confirmed.
+    io_a_frame: FrameId,
+    phi_keys: Option<Vec<Lit>>,
+}
+
+/// Dual cone-analysis input spaces with shared difference/popcount networks.
+struct ConeParts {
+    enc1: IncrementalEncoder,
+    enc2: IncrementalEncoder,
+    /// `diff[i] = X1_i XOR X2_i`, built lazily per input position.
+    diff: Vec<Option<Lit>>,
+    /// Binary-counter sum over *all* input differences, built on first use.
+    popcount: Option<Vec<Lit>>,
+    /// Memoized `popcount == k` literals.
+    hd_equals: BTreeMap<usize, Lit>,
+    /// Memoized XOR miters keyed by normalised literal pair.
+    miters: BTreeMap<(Lit, Lit), Lit>,
+    /// A literal fixed to false, for degenerate constant queries.
+    const_false: Option<Lit>,
+}
+
+/// One persistent solver and its cached encodings for a whole attack run.
+///
+/// See the [module documentation](self) for the design; see
+/// [`crate::sat_attack::sat_attack`], [`crate::key_confirmation`],
+/// [`crate::equivalence`] and [`crate::functional`] for the attacks that run
+/// through it.
+pub struct AttackSession<'n> {
+    netlist: &'n Netlist,
+    solver: Solver,
+    dip: Option<DipParts>,
+    cones: Option<ConeParts>,
+    clauses_at_last_simplify: usize,
+}
+
+impl<'n> AttackSession<'n> {
+    /// Creates an empty session for a locked netlist.  Nothing is encoded
+    /// until the first query arrives.
+    pub fn new(netlist: &'n Netlist) -> AttackSession<'n> {
+        AttackSession {
+            netlist,
+            solver: Solver::new(),
+            dip: None,
+            cones: None,
+            clauses_at_last_simplify: 0,
+        }
+    }
+
+    /// The netlist this session attacks.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// Work counters of the underlying solver.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+
+    /// Forwards to [`Solver::set_conflict_budget`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.solver.set_conflict_budget(budget);
+    }
+
+    /// Direct access to the underlying solver, for callers that add their own
+    /// clauses (e.g. the key-confirmation predicate ϕ).  Clauses must only be
+    /// added between queries (at decision level 0).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Model value of a literal after a successful query.
+    pub fn value(&self, lit: Lit) -> Option<bool> {
+        self.solver.value(lit)
+    }
+
+    // ------------------------------------------------------------------
+    // DIP machinery (SAT attack and key confirmation).
+    // ------------------------------------------------------------------
+
+    fn ensure_dip(&mut self) {
+        if self.dip.is_some() {
+            return;
+        }
+        let copy_a: CircuitCopy = instantiate(self.netlist, &mut self.solver);
+        let copy_b = instantiate_sharing_inputs(self.netlist, &mut self.solver, &copy_a.inputs);
+        let diff = encode_any_difference(&mut self.solver, &copy_a.outputs, &copy_b.outputs);
+        let diff_frame = self.solver.push_frame();
+        self.solver.add_clause_in(diff_frame, [diff]);
+        let io_a_frame = self.solver.push_frame();
+        self.dip = Some(DipParts {
+            inputs: copy_a.inputs,
+            key_a: copy_a.keys,
+            key_b: copy_b.keys,
+            diff_lit: diff,
+            diff_frame,
+            io_a_frame,
+            phi_keys: None,
+        });
+    }
+
+    /// The frame holding the difference constraint, re-arming it in a fresh
+    /// frame if a previous [`AttackSession::extract_key`] retired it.
+    fn diff_frame(&mut self) -> FrameId {
+        let dip = self.dip.as_ref().expect("ensured by caller");
+        if !self.solver.frame_retired(dip.diff_frame) {
+            return dip.diff_frame;
+        }
+        let diff = dip.diff_lit;
+        let frame = self.solver.push_frame();
+        self.solver.add_clause_in(frame, [diff]);
+        self.dip.as_mut().expect("ensured by caller").diff_frame = frame;
+        frame
+    }
+
+    /// Literals of the first key copy `K1`.
+    pub fn key_a_lits(&mut self) -> Vec<Lit> {
+        self.ensure_dip();
+        self.dip.as_ref().expect("just ensured").key_a.clone()
+    }
+
+    /// Creates the standalone predicate key vector `Kϕ`.
+    ///
+    /// Key confirmation constrains this vector with ϕ and the observed I/O
+    /// pairs; it is not tied to either DIP circuit copy.  Because ϕ and its
+    /// I/O constraints are permanent clauses, a session supports **one**
+    /// predicate: a second confirmation run would silently conjoin both
+    /// predicates and could reject a shortlist containing the correct key,
+    /// so creating a second vector panics instead — start a fresh
+    /// [`AttackSession`] per confirmation run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a predicate vector already exists on this session.
+    pub fn predicate_keys(&mut self) -> Vec<Lit> {
+        self.ensure_dip();
+        let num_keys = self.netlist.num_key_inputs();
+        let solver = &mut self.solver;
+        let dip = self.dip.as_mut().expect("just ensured");
+        assert!(
+            dip.phi_keys.is_none(),
+            "a session supports one key-confirmation predicate; \
+             use a fresh AttackSession per confirmation run"
+        );
+        let keys: Vec<Lit> = (0..num_keys)
+            .map(|_| Lit::positive(solver.new_var()))
+            .collect();
+        dip.phi_keys = Some(keys.clone());
+        keys
+    }
+
+    fn phi_keys(&self) -> Vec<Lit> {
+        self.dip
+            .as_ref()
+            .and_then(|dip| dip.phi_keys.clone())
+            .expect("predicate_keys() must be called first")
+    }
+
+    /// Searches for a distinguishing input: shared inputs `X`, two free key
+    /// copies, outputs forced to differ.
+    pub fn find_dip(&mut self) -> SolveResult {
+        self.ensure_dip();
+        let diff = self.diff_frame();
+        let io_a = self.dip.as_ref().expect("just ensured").io_a_frame;
+        self.solver.solve_in(&[diff, io_a], &[])
+    }
+
+    /// Searches for a distinguishing input with `K1` pinned to a candidate
+    /// key (the key-confirmation `Q` query).
+    ///
+    /// Any I/O constraints a previous SAT-attack run placed on `K1` stay
+    /// dormant here: the candidate must be judged purely against the other
+    /// key copy's consistency with the observed pairs, otherwise a candidate
+    /// contradicting `K1`'s old observations would be spuriously "confirmed".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key width does not match the circuit.
+    pub fn find_dip_against(&mut self, candidate: &Key) -> SolveResult {
+        self.ensure_dip();
+        let diff = self.diff_frame();
+        let key_a = self.dip.as_ref().expect("just ensured").key_a.clone();
+        let assumptions = assumptions_for(&key_a, candidate.bits());
+        self.solver.solve_in(&[diff], &assumptions)
+    }
+
+    /// The distinguishing input found by the last successful
+    /// [`AttackSession::find_dip`]/[`AttackSession::find_dip_against`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last query was not satisfiable.
+    pub fn dip_inputs(&self) -> Vec<bool> {
+        let dip = self.dip.as_ref().expect("find_dip must be called first");
+        model_values(&self.solver, &dip.inputs)
+    }
+
+    /// Adds the observed I/O pair `C(x̂, K, ŷ)` as a constraint on one key
+    /// vector — permanent for `K2` and `Kϕ`, scoped to the `K1` I/O frame
+    /// for `K1` (see [`AttackSession::find_dip_against`] for why).
+    ///
+    /// Key-independent logic is constant-folded away, so only the key cone is
+    /// encoded.  If an output bit is key-independent and contradicts the
+    /// observation, the constrained formula becomes unsatisfiable (the locked
+    /// circuit cannot produce the observed behaviour under any key).
+    pub fn constrain_key_with_io(&mut self, which: KeyVector, inputs: &[bool], outputs: &[bool]) {
+        self.ensure_dip();
+        let dip = self.dip.as_mut().expect("just ensured");
+        let (keys, frame) = match which {
+            KeyVector::A => (dip.key_a.clone(), Some(dip.io_a_frame)),
+            KeyVector::B => (dip.key_b.clone(), None),
+            KeyVector::Predicate => (
+                dip.phi_keys
+                    .clone()
+                    .expect("predicate_keys() must be called first"),
+                None,
+            ),
+        };
+        let signals = encode_with_fixed_inputs(self.netlist, &mut self.solver, inputs, &keys);
+        assert_eq!(signals.len(), outputs.len(), "output width mismatch");
+        let force = |solver: &mut Solver, lit: Lit| match frame {
+            Some(frame) => solver.add_clause_in(frame, [lit]),
+            None => solver.add_clause([lit]),
+        };
+        for (signal, &want) in signals.iter().zip(outputs) {
+            match signal {
+                Signal::Const(have) if *have == want => {}
+                Signal::Const(_) => {
+                    // No key can reproduce the observation.
+                    match frame {
+                        Some(frame) => self.solver.add_clause_in(frame, []),
+                        None => self.solver.add_clause([]),
+                    }
+                    return;
+                }
+                Signal::Lit(l) => force(&mut self.solver, if want { *l } else { !*l }),
+            }
+        }
+        self.maybe_simplify();
+    }
+
+    /// Classic SAT-attack bookkeeping: constrains both DIP key copies with
+    /// the observed I/O pair.
+    pub fn force_dip(&mut self, inputs: &[bool], outputs: &[bool]) {
+        self.constrain_key_with_io(KeyVector::A, inputs, outputs);
+        self.constrain_key_with_io(KeyVector::B, inputs, outputs);
+    }
+
+    /// Solves the predicate formula (difference constraint dormant) and
+    /// returns a candidate key from the `Kϕ` model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`AttackSession::predicate_keys`] has not been called.
+    pub fn candidate_key(&mut self) -> (SolveResult, Option<Key>) {
+        let phi = self.phi_keys();
+        let result = self.solver.solve();
+        let key = (result == SolveResult::Sat).then(|| model_key(&self.solver, &phi));
+        (result, key)
+    }
+
+    /// Concludes the DIP loop: retires the difference constraint, reclaims
+    /// the clause database, and extracts a key consistent with every observed
+    /// I/O pair from the `K1` model.
+    ///
+    /// The session remains usable afterwards: the next DIP query transparently
+    /// re-arms the difference constraint in a fresh frame.
+    ///
+    /// Returns `(Unsat, None)` when the accumulated constraints are
+    /// contradictory (the oracle does not match the locked circuit).
+    pub fn extract_key(&mut self) -> (SolveResult, Option<Key>) {
+        self.ensure_dip();
+        let dip = self.dip.as_ref().expect("just ensured");
+        let (frame, io_a, key_a) = (dip.diff_frame, dip.io_a_frame, dip.key_a.clone());
+        if !self.solver.frame_retired(frame) {
+            self.solver.retire_frame(frame);
+            self.solver.simplify();
+        }
+        let result = self.solver.solve_in(&[io_a], &[]);
+        let key = (result == SolveResult::Sat).then(|| model_key(&self.solver, &key_a));
+        (result, key)
+    }
+
+    fn maybe_simplify(&mut self) {
+        let n = self.solver.num_clauses();
+        if n > 2_000 && n > 2 * self.clauses_at_last_simplify {
+            self.solver.simplify();
+            self.clauses_at_last_simplify = self.solver.num_clauses();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cone machinery (functional analyses and equivalence checking).
+    // ------------------------------------------------------------------
+
+    fn ensure_cones(&mut self) {
+        if self.cones.is_some() {
+            return;
+        }
+        let enc1 = IncrementalEncoder::new(self.netlist, &mut self.solver, &PinBinding::default());
+        // The second input space is fresh; the key space is shared with the
+        // first copy (analysis candidates never depend on key inputs, but a
+        // shared binding keeps cone pairs aligned if they ever do).
+        let enc2 = IncrementalEncoder::new(
+            self.netlist,
+            &mut self.solver,
+            &PinBinding {
+                inputs: None,
+                keys: Some(enc1.keys().to_vec()),
+            },
+        );
+        self.cones = Some(ConeParts {
+            enc1,
+            enc2,
+            diff: vec![None; self.netlist.num_inputs()],
+            popcount: None,
+            hd_equals: BTreeMap::new(),
+            miters: BTreeMap::new(),
+            const_false: None,
+        });
+    }
+
+    /// Encodes (memoized) the candidate cone in the first input space and
+    /// returns its root literal.
+    pub fn cone_lit(&mut self, root: NodeId) -> Lit {
+        self.ensure_cones();
+        let cones = self.cones.as_mut().expect("just ensured");
+        cones.enc1.encode_cone(self.netlist, &mut self.solver, root)
+    }
+
+    /// Encodes (memoized) the candidate cone in both input spaces and
+    /// returns the two root literals.
+    pub fn cone_pair(&mut self, root: NodeId) -> (Lit, Lit) {
+        self.ensure_cones();
+        let cones = self.cones.as_mut().expect("just ensured");
+        let l1 = cones.enc1.encode_cone(self.netlist, &mut self.solver, root);
+        let l2 = cones.enc2.encode_cone(self.netlist, &mut self.solver, root);
+        (l1, l2)
+    }
+
+    /// The literals of primary input `position` in the two input spaces.
+    pub fn input_pair(&mut self, position: usize) -> (Lit, Lit) {
+        self.ensure_cones();
+        let cones = self.cones.as_ref().expect("just ensured");
+        (cones.enc1.inputs()[position], cones.enc2.inputs()[position])
+    }
+
+    /// A literal equivalent to `X1[position] XOR X2[position]` (memoized).
+    pub fn input_diff(&mut self, position: usize) -> Lit {
+        self.ensure_cones();
+        let cones = self.cones.as_mut().expect("just ensured");
+        if let Some(lit) = cones.diff[position] {
+            return lit;
+        }
+        let a = cones.enc1.inputs()[position];
+        let b = cones.enc2.inputs()[position];
+        let lit = xor2_lit(&mut self.solver, a, b);
+        cones.diff[position] = Some(lit);
+        lit
+    }
+
+    /// A literal equivalent to `X1[position] == X2[position]` (memoized).
+    pub fn input_eq(&mut self, position: usize) -> Lit {
+        !self.input_diff(position)
+    }
+
+    /// A literal equivalent to `HD(X1, X2) == k` over **all** primary input
+    /// positions (memoized; the popcount network is built once per session
+    /// and shared by every Hamming-distance query).
+    ///
+    /// Callers restrict the distance to a support set by assuming
+    /// [`AttackSession::input_eq`] for every position outside it.
+    pub fn hd_equals(&mut self, k: usize) -> Lit {
+        self.ensure_cones();
+        if k > self.netlist.num_inputs() {
+            return self.cone_const_false();
+        }
+        if let Some(&lit) = self.cones.as_ref().expect("just ensured").hd_equals.get(&k) {
+            return lit;
+        }
+        if self
+            .cones
+            .as_ref()
+            .expect("just ensured")
+            .popcount
+            .is_none()
+        {
+            let diffs: Vec<Lit> = (0..self.netlist.num_inputs())
+                .map(|i| self.input_diff(i))
+                .collect();
+            let sum = popcount_lits(&mut self.solver, &diffs);
+            self.cones.as_mut().expect("just ensured").popcount = Some(sum);
+        }
+        let cones = self.cones.as_mut().expect("just ensured");
+        let sum = cones.popcount.clone().expect("just built");
+        // AND over per-bit agreement of the counter with the constant k.
+        let mut acc: Option<Lit> = None;
+        for (i, &s) in sum.iter().enumerate() {
+            let term = if (k >> i) & 1 == 1 { s } else { !s };
+            acc = Some(match acc {
+                None => term,
+                Some(prev) => and2_lit(&mut self.solver, prev, term),
+            });
+        }
+        let lit = acc.expect("popcount has at least one bit");
+        self.cones
+            .as_mut()
+            .expect("just ensured")
+            .hd_equals
+            .insert(k, lit);
+        lit
+    }
+
+    /// A literal equivalent to `a XOR b` (memoized miter).
+    pub fn miter(&mut self, a: Lit, b: Lit) -> Lit {
+        self.ensure_cones();
+        let key = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        if let Some(&lit) = self.cones.as_ref().expect("just ensured").miters.get(&key) {
+            return lit;
+        }
+        let lit = xor2_lit(&mut self.solver, a, b);
+        self.cones
+            .as_mut()
+            .expect("just ensured")
+            .miters
+            .insert(key, lit);
+        lit
+    }
+
+    /// Decides a cone property under assumptions — the generic analysis
+    /// query.  All shared structure (cones, difference vector, popcount) is
+    /// reused; the query itself adds no clauses.
+    pub fn check_cone_property(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solver.solve_with(assumptions)
+    }
+
+    fn cone_const_false(&mut self) -> Lit {
+        let cones = self.cones.as_mut().expect("ensured by caller");
+        if let Some(lit) = cones.const_false {
+            return lit;
+        }
+        let lit = Lit::positive(self.solver.new_var());
+        self.solver.add_clause([!lit]);
+        cones.const_false = Some(lit);
+        lit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locking::{LockingScheme, XorLock};
+    use netlist::random::{generate, RandomCircuitSpec};
+    use netlist::sim::pattern_to_bits;
+    use netlist::GateKind;
+
+    #[test]
+    fn dip_loop_is_allocation_free_and_concludes() {
+        let original = generate(&RandomCircuitSpec::new("sess_dip", 6, 2, 40));
+        let locked = XorLock::new(4).with_seed(3).lock(&original).expect("lock");
+        let mut session = AttackSession::new(&locked.locked);
+
+        let mut iterations = 0;
+        loop {
+            match session.find_dip() {
+                SolveResult::Sat => {}
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => panic!("no budget set"),
+            }
+            let x = session.dip_inputs();
+            let y = original.evaluate(&x, &[]);
+            session.force_dip(&x, &y);
+            iterations += 1;
+            assert!(iterations < 100, "XOR locking must converge quickly");
+        }
+        let (result, key) = session.extract_key();
+        assert_eq!(result, SolveResult::Sat);
+        let key = key.expect("sat result carries a key");
+        for pattern in 0..64u64 {
+            let bits = pattern_to_bits(pattern, 6);
+            assert_eq!(
+                locked.locked.evaluate(&bits, key.bits()),
+                original.evaluate(&bits, &[]),
+            );
+        }
+    }
+
+    #[test]
+    fn session_survives_extract_key_and_supports_further_dip_queries() {
+        // Regression: extract_key retires the difference frame; a later DIP
+        // query (e.g. chaining sat_attack then key_confirmation on one
+        // session) must transparently re-arm it instead of panicking.
+        let original = generate(&RandomCircuitSpec::new("sess_chain", 6, 2, 40));
+        let locked = XorLock::new(4).with_seed(7).lock(&original).expect("lock");
+        let oracle = crate::oracle::SimOracle::new(original.clone());
+
+        let mut session = AttackSession::new(&locked.locked);
+        let first = crate::sat_attack::sat_attack_in(
+            &mut session,
+            &oracle,
+            &crate::sat_attack::SatAttackConfig::default(),
+        );
+        assert!(first.is_success(), "{:?}", first.status);
+        let recovered = first.key.expect("key");
+
+        // The same session can now run key confirmation: its DIP queries
+        // re-arm the retired difference constraint.
+        let confirmation = crate::key_confirmation::key_confirmation_in(
+            &mut session,
+            &oracle,
+            &[recovered.clone(), recovered.complement()],
+            &crate::key_confirmation::KeyConfirmationConfig::default(),
+        );
+        assert!(confirmation.completed);
+        let confirmed = confirmation.key.expect("a correct key is in the shortlist");
+        assert!(locked.key_is_functionally_correct(&confirmed, 128, 1));
+
+        // Soundness of the chained confirmation: a shortlist containing only
+        // a wrong key must be rejected even though the session's K1 carries
+        // I/O constraints from the earlier SAT attack (those must stay
+        // dormant in the Q query, not masquerade as "no distinguishing
+        // input").
+        let mut session2 = AttackSession::new(&locked.locked);
+        let first2 = crate::sat_attack::sat_attack_in(
+            &mut session2,
+            &oracle,
+            &crate::sat_attack::SatAttackConfig::default(),
+        );
+        let recovered2 = first2.key.expect("key");
+        let wrong = recovered2.complement();
+        assert!(!locked.key_is_functionally_correct(&wrong, 128, 1));
+        let rejection = crate::key_confirmation::key_confirmation_in(
+            &mut session2,
+            &oracle,
+            &[wrong],
+            &crate::key_confirmation::KeyConfirmationConfig::default(),
+        );
+        assert!(rejection.completed);
+        assert_eq!(
+            rejection.key, None,
+            "a wrong-only shortlist must be rejected"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one key-confirmation predicate")]
+    fn second_predicate_on_one_session_is_rejected() {
+        let original = generate(&RandomCircuitSpec::new("sess_phi", 6, 2, 40));
+        let locked = XorLock::new(4).with_seed(7).lock(&original).expect("lock");
+        let mut session = AttackSession::new(&locked.locked);
+        let _first = session.predicate_keys();
+        let _second = session.predicate_keys();
+    }
+
+    #[test]
+    fn constrain_with_impossible_io_poisons_the_session() {
+        // A circuit whose output ignores the key entirely.
+        let mut nl = netlist::Netlist::new("const_out");
+        let a = nl.add_input("a");
+        let _k = nl.add_key_input("k");
+        let g = nl.add_gate("g", GateKind::Buf, &[a]);
+        nl.add_output("g", g);
+
+        let mut session = AttackSession::new(&nl);
+        // Claim the output is 1 when the input is 0: impossible for any key.
+        session.constrain_key_with_io(KeyVector::A, &[false], &[true]);
+        let (result, key) = session.extract_key();
+        assert_eq!(result, SolveResult::Unsat);
+        assert!(key.is_none());
+    }
+
+    #[test]
+    fn hd_equals_restricted_by_eq_assumptions() {
+        let mut nl = netlist::Netlist::new("hd");
+        for i in 0..4 {
+            let x = nl.add_input(format!("x{i}"));
+            nl.add_output(format!("y{i}"), x);
+        }
+        let mut session = AttackSession::new(&nl);
+        let hd1 = session.hd_equals(1);
+        // Restrict to positions {0, 1} by forcing equality elsewhere.
+        let eq2 = session.input_eq(2);
+        let eq3 = session.input_eq(3);
+        let (x1_0, x2_0) = session.input_pair(0);
+        let (x1_1, x2_1) = session.input_pair(1);
+        // Exactly one difference among positions 0 and 1: force both pairs
+        // equal -> contradiction with HD == 1.
+        let eq0 = session.input_eq(0);
+        let eq1 = session.input_eq(1);
+        assert_eq!(
+            session.check_cone_property(&[hd1, eq2, eq3, eq0, eq1]),
+            SolveResult::Unsat
+        );
+        // One pair differing is satisfiable.
+        assert_eq!(
+            session.check_cone_property(&[hd1, eq2, eq3, eq0]),
+            SolveResult::Sat
+        );
+        let v1 = session.value(x1_1).unwrap();
+        let v2 = session.value(x2_1).unwrap();
+        assert_ne!(v1, v2, "the difference must be at the free position");
+        let w1 = session.value(x1_0).unwrap();
+        let w2 = session.value(x2_0).unwrap();
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn hd_equals_beyond_width_is_false() {
+        let mut nl = netlist::Netlist::new("tiny");
+        let a = nl.add_input("a");
+        nl.add_output("y", a);
+        let mut session = AttackSession::new(&nl);
+        let impossible = session.hd_equals(5);
+        assert_eq!(
+            session.check_cone_property(&[impossible]),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn cone_pair_memoizes_and_miters_are_cached() {
+        let mut nl = netlist::Netlist::new("cones");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate("g", GateKind::And, &[a, b]);
+        let h = nl.add_gate("h", GateKind::Or, &[g, a]);
+        nl.add_output("h", h);
+
+        let mut session = AttackSession::new(&nl);
+        let (g1, g2) = session.cone_pair(g);
+        let (h1, h2) = session.cone_pair(h);
+        assert_eq!(session.cone_pair(g), (g1, g2));
+        assert_eq!(session.cone_pair(h), (h1, h2));
+        let m = session.miter(g1, h1);
+        assert_eq!(session.miter(h1, g1), m, "miters are symmetric and cached");
+    }
+}

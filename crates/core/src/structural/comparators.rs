@@ -37,8 +37,12 @@ pub fn find_comparators(netlist: &Netlist) -> Vec<Comparator> {
     candidate_pairs(netlist)
         .into_iter()
         .filter_map(|(node, input, key)| {
-            classify_by_simulation(netlist, node, input, key)
-                .map(|xnor| Comparator { node, input, key, xnor })
+            classify_by_simulation(netlist, node, input, key).map(|xnor| Comparator {
+                node,
+                input,
+                key,
+                xnor,
+            })
         })
         .collect()
 }
@@ -49,8 +53,12 @@ pub fn find_comparators_sat(netlist: &Netlist) -> Vec<Comparator> {
     candidate_pairs(netlist)
         .into_iter()
         .filter_map(|(node, input, key)| {
-            classify_by_sat(netlist, node, input, key)
-                .map(|xnor| Comparator { node, input, key, xnor })
+            classify_by_sat(netlist, node, input, key).map(|xnor| Comparator {
+                node,
+                input,
+                key,
+                xnor,
+            })
         })
         .collect()
 }
@@ -203,7 +211,10 @@ mod tests {
     #[test]
     fn every_key_input_is_paired_after_sfll_locking_and_strash() {
         let original = generate(&RandomCircuitSpec::new("cmp_sfll", 10, 2, 60));
-        let locked = SfllHd::new(8, 1).with_seed(3).lock(&original).expect("lock");
+        let locked = SfllHd::new(8, 1)
+            .with_seed(3)
+            .lock(&original)
+            .expect("lock");
         let optimized = strash(&locked.locked);
         let comparators = find_comparators(&optimized);
         let mut paired_keys: Vec<NodeId> = comparators.iter().map(|c| c.key).collect();

@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn candidates_have_exactly_the_protected_support() {
         let original = generate(&RandomCircuitSpec::new("sm", 10, 2, 60));
-        let locked = SfllHd::new(6, 1).with_seed(11).lock(&original).expect("lock");
+        let locked = SfllHd::new(6, 1)
+            .with_seed(11)
+            .lock(&original)
+            .expect("lock");
         let optimized = strash(&locked.locked);
         let comparators = find_comparators(&optimized);
         let result = find_candidates(&optimized, &comparators);

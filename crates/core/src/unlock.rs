@@ -74,9 +74,21 @@ pub fn apply_key(locked: &Netlist, key: &Key) -> Netlist {
 ///
 /// Panics if the two circuits have different interface widths.
 pub fn equivalent_to(unlocked: &Netlist, reference: &Netlist, samples: usize, seed: u64) -> bool {
-    assert_eq!(unlocked.num_inputs(), reference.num_inputs(), "input widths differ");
-    assert_eq!(unlocked.num_outputs(), reference.num_outputs(), "output widths differ");
-    assert_eq!(unlocked.num_key_inputs(), 0, "unlocked circuit still has key inputs");
+    assert_eq!(
+        unlocked.num_inputs(),
+        reference.num_inputs(),
+        "input widths differ"
+    );
+    assert_eq!(
+        unlocked.num_outputs(),
+        reference.num_outputs(),
+        "output widths differ"
+    );
+    assert_eq!(
+        unlocked.num_key_inputs(),
+        0,
+        "unlocked circuit still has key inputs"
+    );
     let n = unlocked.num_inputs();
     if n <= 16 {
         (0..(1u64 << n)).all(|pattern| {
@@ -104,7 +116,10 @@ mod tests {
     fn applying_the_correct_key_recovers_the_original_function() {
         let original = generate(&RandomCircuitSpec::new("unlock", 12, 3, 90));
         for h in [0usize, 1, 2] {
-            let locked = SfllHd::new(8, h).with_seed(4).lock(&original).expect("lock");
+            let locked = SfllHd::new(8, h)
+                .with_seed(4)
+                .lock(&original)
+                .expect("lock");
             let unlocked = apply_key(&locked.locked, &locked.key);
             assert_eq!(unlocked.num_key_inputs(), 0);
             assert!(equivalent_to(&unlocked, &original, 256, 0), "h = {h}");
@@ -114,7 +129,11 @@ mod tests {
     #[test]
     fn unlocking_shrinks_the_restoration_logic() {
         let original = generate(&RandomCircuitSpec::new("unlock_size", 12, 3, 90));
-        let locked = SfllHd::new(10, 1).with_seed(6).lock(&original).expect("lock").optimized();
+        let locked = SfllHd::new(10, 1)
+            .with_seed(6)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let unlocked = apply_key(&locked.locked, &locked.key);
         assert!(
             unlocked.num_gates() < locked.locked.num_gates(),
@@ -135,7 +154,11 @@ mod tests {
     #[test]
     fn end_to_end_attack_then_unlock() {
         let original = generate(&RandomCircuitSpec::new("unlock_e2e", 14, 3, 110));
-        let locked = SfllHd::new(10, 1).with_seed(12).lock(&original).expect("lock").optimized();
+        let locked = SfllHd::new(10, 1)
+            .with_seed(12)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
         let result = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(1));
         let key = result.best_key().expect("attack recovered a key");
         let unlocked = apply_key(&locked.locked, key);

@@ -73,14 +73,20 @@ mod tests {
     #[test]
     fn correct_key_has_zero_corruption() {
         let original = generate(&RandomCircuitSpec::new("corr", 10, 2, 60));
-        let locked = SfllHd::new(8, 1).with_seed(2).lock(&original).expect("lock");
+        let locked = SfllHd::new(8, 1)
+            .with_seed(2)
+            .lock(&original)
+            .expect("lock");
         assert_eq!(corruption_rate(&locked, &locked.key, 200, 1), 0.0);
     }
 
     #[test]
     fn sfll_has_much_lower_corruption_than_xor_locking() {
         let original = generate(&RandomCircuitSpec::new("corr2", 12, 3, 80));
-        let sfll = SfllHd::new(10, 1).with_seed(4).lock(&original).expect("lock");
+        let sfll = SfllHd::new(10, 1)
+            .with_seed(4)
+            .lock(&original)
+            .expect("lock");
         let xor = XorLock::new(10).with_seed(4).lock(&original).expect("lock");
         let sfll_corruption = average_wrong_key_corruption(&sfll, 5, 200, 7);
         let xor_corruption = average_wrong_key_corruption(&xor, 5, 200, 7);
@@ -96,7 +102,10 @@ mod tests {
     #[should_panic(expected = "key width")]
     fn mismatched_key_width_panics() {
         let original = generate(&RandomCircuitSpec::new("corr3", 8, 2, 30));
-        let locked = SfllHd::new(6, 0).with_seed(1).lock(&original).expect("lock");
+        let locked = SfllHd::new(6, 0)
+            .with_seed(1)
+            .lock(&original)
+            .expect("lock");
         let _ = corruption_rate(&locked, &Key::zeros(3), 10, 0);
     }
 }

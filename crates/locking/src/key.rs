@@ -1,14 +1,13 @@
 //! Locking keys.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A locking key: an ordered vector of key-bit values.
 ///
 /// Bit `i` of the key is the correct value of the key input `keyinput{i}` in
 /// the corresponding locked netlist.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Key(Vec<bool>);
 
 impl Key {

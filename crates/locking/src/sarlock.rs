@@ -55,7 +55,9 @@ impl LockingScheme for SarLock {
 
     fn lock(&self, original: &Netlist) -> Result<LockedCircuit, LockError> {
         if self.key_bits == 0 {
-            return Err(LockError::BadParameters("key width must be positive".into()));
+            return Err(LockError::BadParameters(
+                "key width must be positive".into(),
+            ));
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let target = match self.target_output {
@@ -158,7 +160,10 @@ mod tests {
                     locked.locked.evaluate(&bits, wrong.bits()) != original.evaluate(&bits, &[])
                 })
                 .count();
-            assert!(corrupted <= 1, "wrong key {wrong} corrupted {corrupted} patterns");
+            assert!(
+                corrupted <= 1,
+                "wrong key {wrong} corrupted {corrupted} patterns"
+            );
         }
     }
 

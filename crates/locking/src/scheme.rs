@@ -167,13 +167,19 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         assert!(matches!(
             choose_protected_inputs(&nl, 1, 10, &mut rng),
-            Err(LockError::NotEnoughInputs { needed: 10, available: 3 })
+            Err(LockError::NotEnoughInputs {
+                needed: 10,
+                available: 3
+            })
         ));
     }
 
     #[test]
     fn no_outputs_is_an_error() {
         let nl = Netlist::new("empty");
-        assert!(matches!(choose_target_output(&nl), Err(LockError::NoOutputs)));
+        assert!(matches!(
+            choose_target_output(&nl),
+            Err(LockError::NoOutputs)
+        ));
     }
 }

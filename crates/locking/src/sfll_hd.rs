@@ -77,7 +77,9 @@ impl LockingScheme for SfllHd {
             )));
         }
         if self.key_bits == 0 {
-            return Err(LockError::BadParameters("key width must be positive".into()));
+            return Err(LockError::BadParameters(
+                "key width must be positive".into(),
+            ));
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let target = match self.target_output {
@@ -93,7 +95,11 @@ impl LockingScheme for SfllHd {
         let cube: Vec<bool> = (0..self.key_bits).map(|_| rng.gen()).collect();
 
         let mut locked = original.clone();
-        locked.set_name(format!("{}_{}", original.name(), self.name().to_lowercase()));
+        locked.set_name(format!(
+            "{}_{}",
+            original.name(),
+            self.name().to_lowercase()
+        ));
 
         // Functionality-stripped circuit: flip the protected output for every
         // input pattern at Hamming distance h from the (hard-coded) cube.
@@ -139,7 +145,10 @@ mod tests {
     fn correct_key_restores_functionality_exhaustively() {
         let original = small_original();
         for h in [0usize, 1, 2] {
-            let locked = SfllHd::new(6, h).with_seed(13).lock(&original).expect("lock");
+            let locked = SfllHd::new(6, h)
+                .with_seed(13)
+                .lock(&original)
+                .expect("lock");
             for pattern in 0..256u64 {
                 let bits = pattern_to_bits(pattern, 8);
                 assert_eq!(
@@ -154,7 +163,10 @@ mod tests {
     #[test]
     fn wrong_key_corrupts_some_output() {
         let original = small_original();
-        let locked = SfllHd::new(6, 1).with_seed(13).lock(&original).expect("lock");
+        let locked = SfllHd::new(6, 1)
+            .with_seed(13)
+            .lock(&original)
+            .expect("lock");
         let wrong = locked.key.complement();
         let mut corrupted = false;
         for pattern in 0..256u64 {
@@ -173,7 +185,10 @@ mod tests {
         // on exactly the protected cube (when all protected inputs feed the
         // target output cone).
         let original = small_original();
-        let locked = SfllHd::new(8, 0).with_seed(3).lock(&original).expect("lock");
+        let locked = SfllHd::new(8, 0)
+            .with_seed(3)
+            .lock(&original)
+            .expect("lock");
         // Apply an all-zero (almost surely wrong) key and count corrupted patterns.
         let zero_key = Key::zeros(8);
         if zero_key == locked.key {
@@ -188,7 +203,10 @@ mod tests {
         }
         // The wrong key corrupts the protected cube and the patterns matching
         // the wrong key itself: at most 2, at least 1.
-        assert!((1..=2).contains(&corrupted), "corrupted {corrupted} patterns");
+        assert!(
+            (1..=2).contains(&corrupted),
+            "corrupted {corrupted} patterns"
+        );
     }
 
     #[test]
@@ -206,7 +224,10 @@ mod tests {
     #[test]
     fn locked_netlist_gains_gates_and_keys() {
         let original = small_original();
-        let locked = SfllHd::new(6, 2).with_seed(5).lock(&original).expect("lock");
+        let locked = SfllHd::new(6, 2)
+            .with_seed(5)
+            .lock(&original)
+            .expect("lock");
         assert_eq!(locked.locked.num_key_inputs(), 6);
         assert!(locked.locked.num_gates() > original.num_gates());
         assert_eq!(locked.protected_inputs.len(), 6);
@@ -217,7 +238,10 @@ mod tests {
     #[test]
     fn optimized_version_is_still_correct() {
         let original = small_original();
-        let locked = SfllHd::new(5, 1).with_seed(21).lock(&original).expect("lock");
+        let locked = SfllHd::new(5, 1)
+            .with_seed(21)
+            .lock(&original)
+            .expect("lock");
         let optimized = locked.optimized();
         for pattern in 0..256u64 {
             let bits = pattern_to_bits(pattern, 8);

@@ -58,7 +58,9 @@ impl LockingScheme for TtLock {
 
     fn lock(&self, original: &Netlist) -> Result<LockedCircuit, LockError> {
         if self.key_bits == 0 {
-            return Err(LockError::BadParameters("key width must be positive".into()));
+            return Err(LockError::BadParameters(
+                "key width must be positive".into(),
+            ));
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let target = match self.target_output {

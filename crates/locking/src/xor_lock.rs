@@ -47,7 +47,9 @@ impl LockingScheme for XorLock {
 
     fn lock(&self, original: &Netlist) -> Result<LockedCircuit, LockError> {
         if self.key_bits == 0 {
-            return Err(LockError::BadParameters("key width must be positive".into()));
+            return Err(LockError::BadParameters(
+                "key width must be positive".into(),
+            ));
         }
         if original.num_outputs() == 0 {
             return Err(LockError::NoOutputs);
@@ -117,7 +119,10 @@ mod tests {
     #[test]
     fn correct_key_restores_functionality() {
         let original = generate(&RandomCircuitSpec::new("xl_test", 8, 3, 50));
-        let locked = XorLock::new(10).with_seed(17).lock(&original).expect("lock");
+        let locked = XorLock::new(10)
+            .with_seed(17)
+            .lock(&original)
+            .expect("lock");
         assert_eq!(locked.locked.num_key_inputs(), 10);
         for pattern in 0..256u64 {
             let bits = pattern_to_bits(pattern, 8);
@@ -131,7 +136,10 @@ mod tests {
     #[test]
     fn wrong_key_corrupts_many_patterns() {
         let original = generate(&RandomCircuitSpec::new("xl_bad", 8, 3, 50));
-        let locked = XorLock::new(10).with_seed(17).lock(&original).expect("lock");
+        let locked = XorLock::new(10)
+            .with_seed(17)
+            .lock(&original)
+            .expect("lock");
         let wrong = locked.key.complement();
         let corrupted = (0..256u64)
             .filter(|&p| {
@@ -158,9 +166,7 @@ mod tests {
             .iter()
             .filter(|(_, n)| {
                 matches!(n.gate_kind(), Some(GateKind::Xor | GateKind::Xnor))
-                    && n.fanins()
-                        .iter()
-                        .any(|&f| locked.locked.is_key_input(f))
+                    && n.fanins().iter().any(|&f| locked.locked.is_key_input(f))
             })
             .count();
         assert_eq!(key_gates, 7);

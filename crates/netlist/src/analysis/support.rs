@@ -69,6 +69,22 @@ pub fn support(netlist: &Netlist, node: NodeId) -> SupportSet {
     result
 }
 
+/// Maps primary-input node ids to their positions in the declaration order
+/// (the index into pin vectors such as [`crate::cnf::CircuitEncoding::inputs`]).
+///
+/// # Panics
+///
+/// Panics if an id is not a primary input of the netlist.
+pub fn input_positions(netlist: &Netlist, ids: &[NodeId]) -> Vec<usize> {
+    let mut position_of = vec![None; netlist.num_nodes()];
+    for (position, &id) in netlist.inputs().iter().enumerate() {
+        position_of[id.index()] = Some(position);
+    }
+    ids.iter()
+        .map(|&id| position_of[id.index()].expect("id is a primary input"))
+        .collect()
+}
+
 /// Computes the supports of *all* nodes in one topological sweep and returns,
 /// for each node, a compact signature: the sorted list of input node ids.
 ///

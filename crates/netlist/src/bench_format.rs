@@ -156,10 +156,7 @@ pub fn parse_with(text: &str, options: &ParseOptions) -> Result<Netlist, Netlist
                     stack.push((dep.clone(), 0));
                 }
             } else {
-                let fanins: Vec<NodeId> = args
-                    .iter()
-                    .map(|a| created[a])
-                    .collect();
+                let fanins: Vec<NodeId> = args.iter().map(|a| created[a]).collect();
                 let id = nl.add_gate(signal.clone(), kind, &fanins);
                 created.insert(signal.clone(), id);
                 on_stack.retain(|s| s != &signal);
@@ -209,7 +206,12 @@ pub fn write(nl: &Netlist) -> String {
     for (id, node) in nl.iter() {
         if let crate::NodeKind::Gate { kind, fanins } = node.kind() {
             let args: Vec<&str> = fanins.iter().map(|f| nl.node(*f).name()).collect();
-            out.push_str(&format!("{} = {}({})\n", node.name(), kind, args.join(", ")));
+            out.push_str(&format!(
+                "{} = {}({})\n",
+                node.name(),
+                kind,
+                args.join(", ")
+            ));
         }
         let _ = id;
     }

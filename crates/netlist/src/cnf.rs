@@ -84,79 +84,277 @@ pub fn encode_cones(
     roots: &[NodeId],
     pins: &PinBinding,
 ) -> CircuitEncoding {
-    // Mark the union of the cones.
-    let mut in_cone = vec![false; netlist.num_nodes()];
-    let mut stack: Vec<NodeId> = roots.to_vec();
-    for &r in roots {
-        in_cone[r.index()] = true;
+    let mut encoder = IncrementalEncoder::new(netlist, solver, pins);
+    for &root in roots {
+        encoder.encode_cone(netlist, solver, root);
     }
-    while let Some(id) = stack.pop() {
-        for &f in netlist.node(id).fanins() {
-            if !in_cone[f.index()] {
-                in_cone[f.index()] = true;
-                stack.push(f);
+    encoder.into_encoding(netlist)
+}
+
+/// An encoder that emits circuit logic into an existing solver variable space
+/// *incrementally* and memoizes every node it has already encoded.
+///
+/// Where [`encode_cones`] re-encodes overlapping cones from scratch on every
+/// call, an `IncrementalEncoder` is created once per (circuit copy, solver)
+/// pair and reused across queries: the first [`encode_cone`] call for a root
+/// encodes its transitive fanin, and later calls — for the same root or for
+/// any root whose cone overlaps — only encode the nodes not seen before.
+/// This is the substrate of the attack session's cone memoization.
+///
+/// [`encode_cone`]: IncrementalEncoder::encode_cone
+#[derive(Clone, Debug)]
+pub struct IncrementalEncoder {
+    node_lits: Vec<Option<Lit>>,
+    inputs: Vec<Lit>,
+    keys: Vec<Lit>,
+    const_false: Option<Lit>,
+}
+
+impl IncrementalEncoder {
+    /// Binds (or allocates) the input and key pins; encodes no gates yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pin vector in `pins` has the wrong width.
+    pub fn new(netlist: &Netlist, solver: &mut Solver, pins: &PinBinding) -> IncrementalEncoder {
+        let inputs: Vec<Lit> = match &pins.inputs {
+            Some(lits) => {
+                assert_eq!(lits.len(), netlist.num_inputs(), "primary input pin width");
+                lits.clone()
+            }
+            None => (0..netlist.num_inputs())
+                .map(|_| Lit::positive(solver.new_var()))
+                .collect(),
+        };
+        let keys: Vec<Lit> = match &pins.keys {
+            Some(lits) => {
+                assert_eq!(lits.len(), netlist.num_key_inputs(), "key input pin width");
+                lits.clone()
+            }
+            None => (0..netlist.num_key_inputs())
+                .map(|_| Lit::positive(solver.new_var()))
+                .collect(),
+        };
+        let mut node_lits: Vec<Option<Lit>> = vec![None; netlist.num_nodes()];
+        for (pos, &id) in netlist.inputs().iter().enumerate() {
+            node_lits[id.index()] = Some(inputs[pos]);
+        }
+        for (pos, &id) in netlist.key_inputs().iter().enumerate() {
+            node_lits[id.index()] = Some(keys[pos]);
+        }
+        IncrementalEncoder {
+            node_lits,
+            inputs,
+            keys,
+            const_false: None,
+        }
+    }
+
+    /// Literals of the primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[Lit] {
+        &self.inputs
+    }
+
+    /// Literals of the key inputs, in declaration order.
+    pub fn keys(&self) -> &[Lit] {
+        &self.keys
+    }
+
+    /// The literal of a node, if its cone has been encoded.
+    pub fn lit(&self, node: NodeId) -> Option<Lit> {
+        self.node_lits[node.index()]
+    }
+
+    /// Ensures the transitive fanin cone of `root` is encoded and returns the
+    /// root's literal.  Nodes already encoded by earlier calls are reused.
+    pub fn encode_cone(&mut self, netlist: &Netlist, solver: &mut Solver, root: NodeId) -> Lit {
+        if let Some(lit) = self.node_lits[root.index()] {
+            return lit;
+        }
+        // Collect the not-yet-encoded part of the cone; node ids are
+        // topologically ordered (fanins precede gates), so encoding the
+        // missing nodes in ascending index order is a valid schedule.
+        let mut missing: Vec<usize> = Vec::new();
+        let mut stack: Vec<NodeId> = vec![root];
+        let mut seen = vec![false; netlist.num_nodes()];
+        seen[root.index()] = true;
+        while let Some(id) = stack.pop() {
+            missing.push(id.index());
+            for &f in netlist.node(id).fanins() {
+                if !seen[f.index()] && self.node_lits[f.index()].is_none() {
+                    seen[f.index()] = true;
+                    stack.push(f);
+                }
             }
         }
+        missing.sort_unstable();
+
+        for index in missing {
+            let (id, node) = (
+                NodeId::from_index(index),
+                netlist.node(NodeId::from_index(index)),
+            );
+            let NodeKind::Gate { kind, fanins } = node.kind() else {
+                continue;
+            };
+            let fanin_lits: Vec<Lit> = fanins
+                .iter()
+                .map(|f| self.node_lits[f.index()].expect("fanins are topologically earlier"))
+                .collect();
+            let lit = encode_gate(solver, *kind, &fanin_lits, &mut self.const_false);
+            self.node_lits[id.index()] = Some(lit);
+        }
+        self.node_lits[root.index()].expect("root was just encoded")
     }
 
-    let mut node_lits: Vec<Option<Lit>> = vec![None; netlist.num_nodes()];
+    /// Ensures every declared output is encoded and returns their literals in
+    /// declaration order.
+    pub fn encode_outputs(&mut self, netlist: &Netlist, solver: &mut Solver) -> Vec<Lit> {
+        netlist
+            .outputs()
+            .iter()
+            .map(|&(_, id)| self.encode_cone(netlist, solver, id))
+            .collect()
+    }
 
-    // Bind or allocate the input pins.
-    let input_lits: Vec<Lit> = match &pins.inputs {
-        Some(lits) => {
-            assert_eq!(lits.len(), netlist.num_inputs(), "primary input pin width");
-            lits.clone()
+    /// Converts the encoder into a [`CircuitEncoding`] snapshot.
+    ///
+    /// Outputs whose cones were never encoded are skipped, mirroring
+    /// [`encode_cones`].
+    pub fn into_encoding(self, netlist: &Netlist) -> CircuitEncoding {
+        let outputs: Vec<Lit> = netlist
+            .outputs()
+            .iter()
+            .filter_map(|&(_, id)| self.node_lits[id.index()])
+            .collect();
+        CircuitEncoding {
+            node_lits: self.node_lits,
+            inputs: self.inputs,
+            keys: self.keys,
+            outputs,
         }
-        None => (0..netlist.num_inputs())
-            .map(|_| Lit::positive(solver.new_var()))
-            .collect(),
-    };
-    let key_lits: Vec<Lit> = match &pins.keys {
-        Some(lits) => {
-            assert_eq!(lits.len(), netlist.num_key_inputs(), "key input pin width");
-            lits.clone()
+    }
+}
+
+/// A wire value in a partially-constant encoding: either a known constant or
+/// a solver literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Signal {
+    /// The value is determined by the fixed inputs alone.
+    Const(bool),
+    /// The value depends on key inputs through this literal.
+    Lit(Lit),
+}
+
+impl Signal {
+    /// Negation.
+    #[must_use]
+    pub fn invert(self) -> Signal {
+        match self {
+            Signal::Const(b) => Signal::Const(!b),
+            Signal::Lit(l) => Signal::Lit(!l),
         }
-        None => (0..netlist.num_key_inputs())
-            .map(|_| Lit::positive(solver.new_var()))
-            .collect(),
-    };
+    }
+}
+
+/// Encodes the circuit relation with the primary inputs fixed to constants
+/// and the key inputs bound to existing literals.
+///
+/// Constant values are propagated during encoding, so gates that do not
+/// depend on a key input produce **no clauses at all**; only the key cone is
+/// encoded.  This is what makes the DIP loop of the incremental SAT attack
+/// cheap: each observed I/O pair `C(x̂, K, ŷ)` adds clauses proportional to
+/// the key-dependent logic only.
+///
+/// Returns one [`Signal`] per declared output, in declaration order.
+///
+/// # Panics
+///
+/// Panics if `input_values` or `keys` have the wrong width.
+pub fn encode_with_fixed_inputs(
+    netlist: &Netlist,
+    solver: &mut Solver,
+    input_values: &[bool],
+    keys: &[Lit],
+) -> Vec<Signal> {
+    assert_eq!(input_values.len(), netlist.num_inputs(), "input width");
+    assert_eq!(keys.len(), netlist.num_key_inputs(), "key width");
+
+    let mut signals: Vec<Option<Signal>> = vec![None; netlist.num_nodes()];
     for (pos, &id) in netlist.inputs().iter().enumerate() {
-        node_lits[id.index()] = Some(input_lits[pos]);
+        signals[id.index()] = Some(Signal::Const(input_values[pos]));
     }
     for (pos, &id) in netlist.key_inputs().iter().enumerate() {
-        node_lits[id.index()] = Some(key_lits[pos]);
+        signals[id.index()] = Some(Signal::Lit(keys[pos]));
     }
 
-    let mut const_false: Option<Lit> = None;
-
     for (id, node) in netlist.iter() {
-        if !in_cone[id.index()] || node.is_input() {
-            continue;
-        }
         let NodeKind::Gate { kind, fanins } = node.kind() else {
             continue;
         };
-        let fanin_lits: Vec<Lit> = fanins
+        let fanin_signals: Vec<Signal> = fanins
             .iter()
-            .map(|f| node_lits[f.index()].expect("fanins are topologically earlier"))
+            .map(|f| signals[f.index()].expect("fanins are topologically earlier"))
             .collect();
-        let lit = encode_gate(solver, *kind, &fanin_lits, &mut const_false);
-        node_lits[id.index()] = Some(lit);
+        signals[id.index()] = Some(encode_gate_signals(solver, *kind, &fanin_signals));
     }
 
-    // Outputs outside the requested cones are skipped; for whole-netlist
-    // encoding every output is present and order is preserved.
-    let outputs: Vec<Lit> = netlist
+    netlist
         .outputs()
         .iter()
-        .filter_map(|&(_, id)| node_lits[id.index()])
-        .collect();
+        .map(|&(_, id)| signals[id.index()].expect("outputs are encoded"))
+        .collect()
+}
 
-    CircuitEncoding {
-        node_lits,
-        inputs: input_lits,
-        keys: key_lits,
-        outputs,
+/// Encodes one gate over constant-or-literal fanins with constant folding.
+fn encode_gate_signals(solver: &mut Solver, kind: GateKind, fanins: &[Signal]) -> Signal {
+    let and_of = |solver: &mut Solver, signals: &[Signal]| -> Signal {
+        if signals.contains(&Signal::Const(false)) {
+            return Signal::Const(false);
+        }
+        let lits: Vec<Lit> = signals
+            .iter()
+            .filter_map(|s| match s {
+                Signal::Lit(l) => Some(*l),
+                Signal::Const(_) => None,
+            })
+            .collect();
+        match lits.as_slice() {
+            [] => Signal::Const(true),
+            [only] => Signal::Lit(*only),
+            _ => Signal::Lit(encode_and(solver, &lits)),
+        }
+    };
+    let xor_of = |solver: &mut Solver, signals: &[Signal]| -> Signal {
+        let mut parity = false;
+        let mut lits: Vec<Lit> = Vec::new();
+        for s in signals {
+            match s {
+                Signal::Const(b) => parity ^= b,
+                Signal::Lit(l) => lits.push(*l),
+            }
+        }
+        let base = match lits.as_slice() {
+            [] => return Signal::Const(parity),
+            [only] => *only,
+            _ => encode_xor(solver, &lits),
+        };
+        Signal::Lit(if parity { !base } else { base })
+    };
+    let inverted =
+        |signals: &[Signal]| -> Vec<Signal> { signals.iter().map(|s| s.invert()).collect() };
+
+    match kind {
+        GateKind::Const0 => Signal::Const(false),
+        GateKind::Const1 => Signal::Const(true),
+        GateKind::Buf => fanins[0],
+        GateKind::Not => fanins[0].invert(),
+        GateKind::And => and_of(solver, fanins),
+        GateKind::Nand => and_of(solver, fanins).invert(),
+        GateKind::Or => and_of(solver, &inverted(fanins)).invert(),
+        GateKind::Nor => and_of(solver, &inverted(fanins)),
+        GateKind::Xor => xor_of(solver, fanins),
+        GateKind::Xnor => xor_of(solver, fanins).invert(),
     }
 }
 
@@ -366,6 +564,144 @@ mod tests {
         solver.add_clause([a]);
         assert_eq!(solver.solve(), SolveResult::Sat);
         assert_eq!(solver.value(b), Some(true));
+    }
+
+    #[test]
+    fn incremental_encoder_memoizes_overlapping_cones() {
+        // g1 and g2 share the cone of g0; encoding g2 after g1 must not
+        // allocate new variables for the shared part.
+        let mut nl = Netlist::new("memo");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g0 = nl.add_gate("g0", GateKind::Xor, &[a, b]);
+        let g1 = nl.add_gate("g1", GateKind::And, &[g0, c]);
+        let g2 = nl.add_gate("g2", GateKind::Or, &[g0, c]);
+        nl.add_output("g1", g1);
+        nl.add_output("g2", g2);
+
+        let mut solver = Solver::new();
+        let mut enc = IncrementalEncoder::new(&nl, &mut solver, &PinBinding::default());
+        let l1 = enc.encode_cone(&nl, &mut solver, g1);
+        let vars_after_first = solver.num_vars();
+        let shared = enc.lit(g0).expect("g0 encoded as part of g1's cone");
+        let l2 = enc.encode_cone(&nl, &mut solver, g2);
+        // Encoding g2 adds only the OR gate itself on top of the shared cone.
+        assert_eq!(solver.num_vars(), vars_after_first + 1);
+        assert_eq!(enc.lit(g0), Some(shared), "memoized literal is stable");
+        // Re-encoding is free and returns the same literals.
+        let before = solver.num_clauses();
+        assert_eq!(enc.encode_cone(&nl, &mut solver, g1), l1);
+        assert_eq!(enc.encode_cone(&nl, &mut solver, g2), l2);
+        assert_eq!(solver.num_clauses(), before);
+
+        // The shared encoding is still functionally correct.
+        for pattern in 0..8u64 {
+            let bits = pattern_to_bits(pattern, 3);
+            let expected = nl.evaluate(&bits, &[]);
+            let assumptions: Vec<Lit> = enc
+                .inputs()
+                .iter()
+                .zip(&bits)
+                .map(|(&l, &v)| if v { l } else { !l })
+                .collect();
+            assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+            assert_eq!(solver.value(l1), Some(expected[0]), "pattern {pattern:03b}");
+            assert_eq!(solver.value(l2), Some(expected[1]), "pattern {pattern:03b}");
+        }
+    }
+
+    #[test]
+    fn incremental_encoder_matches_batch_encoding() {
+        let mut nl = Netlist::new("same");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k = nl.add_key_input("k");
+        let x = nl.add_gate("x", GateKind::Xor, &[a, k]);
+        let y = nl.add_gate("y", GateKind::Nand, &[x, b]);
+        nl.add_output("y", y);
+
+        let mut solver = Solver::new();
+        let mut enc = IncrementalEncoder::new(&nl, &mut solver, &PinBinding::default());
+        let outputs = enc.encode_outputs(&nl, &mut solver);
+        assert_eq!(outputs.len(), 1);
+        let snapshot = enc.into_encoding(&nl);
+        assert_eq!(snapshot.outputs, outputs);
+        assert_eq!(snapshot.inputs.len(), 2);
+        assert_eq!(snapshot.keys.len(), 1);
+    }
+
+    #[test]
+    fn fixed_input_encoding_folds_key_free_logic_to_constants() {
+        let mut nl = Netlist::new("fold");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate("g", GateKind::And, &[a, b]);
+        let h = nl.add_gate("h", GateKind::Xor, &[g, a]);
+        nl.add_output("h", h);
+
+        let mut solver = Solver::new();
+        for pattern in 0..4u64 {
+            let bits = pattern_to_bits(pattern, 2);
+            let clauses_before = solver.num_clauses();
+            let vars_before = solver.num_vars();
+            let outs = encode_with_fixed_inputs(&nl, &mut solver, &bits, &[]);
+            // Key-free circuits fold entirely: no clauses, no variables.
+            assert_eq!(solver.num_clauses(), clauses_before);
+            assert_eq!(solver.num_vars(), vars_before);
+            assert_eq!(outs, vec![Signal::Const(nl.evaluate(&bits, &[])[0])]);
+        }
+    }
+
+    #[test]
+    fn fixed_input_encoding_matches_simulation_on_keyed_circuits() {
+        let mut nl = Netlist::new("keyed_fold");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k0 = nl.add_key_input("k0");
+        let k1 = nl.add_key_input("k1");
+        let x = nl.add_gate("x", GateKind::Xor, &[a, k0]);
+        let y = nl.add_gate("y", GateKind::Nand, &[x, b, k1]);
+        let z = nl.add_gate("z", GateKind::Nor, &[y, a]);
+        let w = nl.add_gate("w", GateKind::Xnor, &[z, k0, b]);
+        nl.add_output("z", z);
+        nl.add_output("w", w);
+
+        for input_pattern in 0..4u64 {
+            for key_pattern in 0..4u64 {
+                let input_bits = pattern_to_bits(input_pattern, 2);
+                let key_bits = pattern_to_bits(key_pattern, 2);
+                let expected = nl.evaluate(&input_bits, &key_bits);
+
+                let mut solver = Solver::new();
+                let keys: Vec<Lit> = (0..2).map(|_| Lit::positive(solver.new_var())).collect();
+                let outs = encode_with_fixed_inputs(&nl, &mut solver, &input_bits, &keys);
+                let assumptions: Vec<Lit> = keys
+                    .iter()
+                    .zip(&key_bits)
+                    .map(|(&l, &v)| if v { l } else { !l })
+                    .collect();
+                assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+                for (out, &want) in outs.iter().zip(&expected) {
+                    let got = match out {
+                        Signal::Const(c) => *c,
+                        Signal::Lit(l) => solver.value(*l).expect("assigned"),
+                    };
+                    assert_eq!(
+                        got, want,
+                        "inputs {input_pattern:02b} keys {key_pattern:02b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signal_inversion() {
+        assert_eq!(Signal::Const(true).invert(), Signal::Const(false));
+        let mut solver = Solver::new();
+        let l = Lit::positive(solver.new_var());
+        assert_eq!(Signal::Lit(l).invert(), Signal::Lit(!l));
     }
 
     #[test]

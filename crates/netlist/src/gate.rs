@@ -1,13 +1,12 @@
 //! Gate kinds and their Boolean semantics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of a logic gate.
 ///
 /// All gates except [`GateKind::Not`], [`GateKind::Buf`] and the constants
 /// accept two or more fanins and apply the operation left to right.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum GateKind {
     /// Constant false.
     Const0,

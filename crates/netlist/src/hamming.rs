@@ -164,12 +164,12 @@ mod tests {
             for pattern in 0..(1u64 << n) {
                 let bits = pattern_to_bits(pattern, n);
                 let outs = nl.evaluate(&bits, &[]);
-                let got: u64 = outs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &b)| (b as u64) << i)
-                    .sum();
-                assert_eq!(got, pattern.count_ones() as u64, "n={n} pattern={pattern:b}");
+                let got: u64 = outs.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+                assert_eq!(
+                    got,
+                    pattern.count_ones() as u64,
+                    "n={n} pattern={pattern:b}"
+                );
             }
         }
     }
@@ -188,7 +188,11 @@ mod tests {
                 let got = nl.evaluate(&bits, &[])[0];
                 let x = pattern & 0xF;
                 let y = (pattern >> 4) & 0xF;
-                assert_eq!(got, hamming(x, y) as usize == h, "h={h} x={x:04b} y={y:04b}");
+                assert_eq!(
+                    got,
+                    hamming(x, y) as usize == h,
+                    "h={h} x={x:04b} y={y:04b}"
+                );
             }
         }
     }

@@ -209,9 +209,7 @@ impl Netlist {
 
     /// Iterates over the ids of all gate nodes in topological order.
     pub fn gate_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.iter()
-            .filter(|(_, n)| !n.is_input())
-            .map(|(id, _)| id)
+        self.iter().filter(|(_, n)| !n.is_input()).map(|(id, _)| id)
     }
 
     /// Looks a node up by name.
@@ -253,7 +251,12 @@ impl Netlist {
     ///
     /// Panics if the name is already in use, if a fanin id does not belong to
     /// this netlist, or if the fanin count is invalid for the gate kind.
-    pub fn add_gate(&mut self, name: impl Into<String>, kind: GateKind, fanins: &[NodeId]) -> NodeId {
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanins: &[NodeId],
+    ) -> NodeId {
         assert!(
             kind.arity_ok(fanins.len()),
             "gate {kind} cannot take {} fanins",

@@ -29,7 +29,12 @@ pub struct RandomCircuitSpec {
 
 impl RandomCircuitSpec {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, num_inputs: usize, num_outputs: usize, num_gates: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        num_inputs: usize,
+        num_outputs: usize,
+        num_gates: usize,
+    ) -> Self {
         RandomCircuitSpec {
             name: name.into(),
             num_inputs,
@@ -82,10 +87,9 @@ pub fn generate(spec: &RandomCircuitSpec) -> Netlist {
         let kind = *GATE_CHOICES.choose(&mut rng).expect("non-empty");
         // The first `num_inputs` gates each consume a distinct primary input so
         // that no input is left dangling.
-        let a = if g < spec.num_inputs {
-            inputs[g]
-        } else {
-            pick_biased(&pool, &mut rng)
+        let a = match inputs.get(g) {
+            Some(&input) => input,
+            None => pick_biased(&pool, &mut rng),
         };
         let mut b = pick_biased(&pool, &mut rng);
         if b == a {
@@ -151,7 +155,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any_difference, "distinct seeds should give distinct circuits");
+        assert!(
+            any_difference,
+            "distinct seeds should give distinct circuits"
+        );
     }
 
     #[test]

@@ -123,12 +123,12 @@ fn propagate_constants(netlist: &Netlist) -> Vec<ConstInfo> {
                 ConstInfo::Unknown => ConstInfo::Unknown,
             },
             GateKind::And | GateKind::Nand => {
-                let any_zero = fanin_info.iter().any(|&c| c == ConstInfo::Zero);
+                let any_zero = fanin_info.contains(&ConstInfo::Zero);
                 let all_one = fanin_info.iter().all(|&c| c == ConstInfo::One);
                 constant_for(*kind, any_zero, all_one)
             }
             GateKind::Or | GateKind::Nor => {
-                let any_one = fanin_info.iter().any(|&c| c == ConstInfo::One);
+                let any_one = fanin_info.contains(&ConstInfo::One);
                 let all_zero = fanin_info.iter().all(|&c| c == ConstInfo::Zero);
                 // OR is "false unless some input is one"; reuse the AND helper
                 // with the roles of the dominating / identity values swapped.
@@ -142,8 +142,13 @@ fn propagate_constants(netlist: &Netlist) -> Vec<ConstInfo> {
             }
             GateKind::Xor | GateKind::Xnor => {
                 if fanin_info.iter().all(|&c| c != ConstInfo::Unknown) {
-                    let parity = fanin_info.iter().filter(|&&c| c == ConstInfo::One).count() % 2 == 1;
-                    let value = if *kind == GateKind::Xor { parity } else { !parity };
+                    let parity =
+                        fanin_info.iter().filter(|&&c| c == ConstInfo::One).count() % 2 == 1;
+                    let value = if *kind == GateKind::Xor {
+                        parity
+                    } else {
+                        !parity
+                    };
                     if value {
                         ConstInfo::One
                     } else {
@@ -193,7 +198,11 @@ fn constant_node(out: &mut Netlist, cache: &mut [Option<NodeId>; 2], value: bool
         return id;
     }
     let name = out.fresh_name(if value { "_const1_" } else { "_const0_" });
-    let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+    let kind = if value {
+        GateKind::Const1
+    } else {
+        GateKind::Const0
+    };
     let id = out.add_gate(name, kind, &[]);
     cache[slot] = Some(id);
     id
@@ -238,9 +247,7 @@ fn rebuild_gate(
                 constant_node(out, cache, kind == GateKind::And)
             }
         }
-        GateKind::Buf => {
-            map_or_constant(out, cache, map, constants, original_fanins[0])
-        }
+        GateKind::Buf => map_or_constant(out, cache, map, constants, original_fanins[0]),
         _ => {
             // For other gates keep every fanin (materialising constants).
             let full: Vec<NodeId> = original_fanins

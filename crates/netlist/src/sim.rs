@@ -26,7 +26,11 @@ impl Netlist {
     /// match the number of primary or key inputs.
     pub fn try_evaluate(&self, inputs: &[bool], keys: &[bool]) -> Result<Vec<bool>, NetlistError> {
         let values = self.node_values(inputs, keys)?;
-        Ok(self.outputs().iter().map(|&(_, id)| values[id.index()]).collect())
+        Ok(self
+            .outputs()
+            .iter()
+            .map(|&(_, id)| values[id.index()])
+            .collect())
     }
 
     /// Evaluates the circuit and returns the value of *every* node, indexed by
@@ -78,7 +82,11 @@ impl Netlist {
     /// match the number of primary or key inputs.
     pub fn evaluate_words(&self, inputs: &[u64], keys: &[u64]) -> Result<Vec<u64>, NetlistError> {
         let values = self.node_words(inputs, keys)?;
-        Ok(self.outputs().iter().map(|&(_, id)| values[id.index()]).collect())
+        Ok(self
+            .outputs()
+            .iter()
+            .map(|&(_, id)| values[id.index()])
+            .collect())
     }
 
     /// 64-way parallel version of [`Netlist::node_values`].
@@ -211,7 +219,10 @@ mod tests {
         let nl = full_adder();
         assert!(matches!(
             nl.try_evaluate(&[true], &[]),
-            Err(NetlistError::StimulusWidth { expected: 3, got: 1 })
+            Err(NetlistError::StimulusWidth {
+                expected: 3,
+                got: 1
+            })
         ));
         assert!(nl.evaluate_words(&[0, 0], &[]).is_err());
     }

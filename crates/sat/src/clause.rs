@@ -85,6 +85,15 @@ impl ClauseDb {
         self.num_learnt
     }
 
+    /// All live (non-deleted) clauses, problem and learnt alike.
+    pub(crate) fn live_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
     pub(crate) fn learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
         self.clauses
             .iter()

@@ -29,7 +29,7 @@ impl VarOrderHeap {
     pub(crate) fn contains(&self, var: Var) -> bool {
         self.positions
             .get(var.index())
-            .map_or(false, |&p| p != NOT_IN_HEAP)
+            .is_some_and(|&p| p != NOT_IN_HEAP)
     }
 
     pub(crate) fn insert(&mut self, var: Var, activity: &[f64]) {

@@ -13,6 +13,10 @@
 //! * VSIDS variable activities with phase saving.
 //! * Luby restarts and learnt-clause database reduction.
 //! * Incremental solving under assumptions ([`Solver::solve_with`]).
+//! * Activation frames for assumption-scoped clause groups that can be
+//!   logically deleted without losing learnt clauses
+//!   ([`Solver::push_frame`], [`Solver::retire_frame`], [`Solver::solve_in`])
+//!   plus a level-0 clause-database reduction pass ([`Solver::simplify`]).
 //! * Optional conflict budgets so callers can impose timeouts
 //!   ([`Solver::set_conflict_budget`]).
 //!
@@ -46,7 +50,7 @@ pub use cnf::CnfFormula;
 pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
 pub use lbool::LBool;
 pub use lit::{Lit, Var};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{FrameId, SolveResult, Solver, SolverStats};
 
 #[cfg(test)]
 mod tests {

@@ -51,6 +51,23 @@ struct Watcher {
     blocker: Lit,
 }
 
+/// Identifier of an activation frame created by [`Solver::push_frame`].
+///
+/// A frame groups clauses that are only active while the frame's activation
+/// literal is assumed (see [`Solver::solve_in`]).  Retiring a frame
+/// ([`Solver::retire_frame`]) permanently disables its clauses *without*
+/// discarding any learnt clauses: conflict clauses derived under the frame's
+/// assumption carry the negated activation literal and become vacuously
+/// satisfied, and [`Solver::simplify`] reclaims them lazily.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct FrameId(u32);
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    lit: Lit,
+    retired: bool,
+}
+
 /// A CDCL SAT solver with incremental solving under assumptions.
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -81,6 +98,7 @@ pub struct Solver {
     max_learnts: f64,
     stats: SolverStats,
     num_problem_clauses: usize,
+    frames: Vec<Frame>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -233,6 +251,135 @@ impl Solver {
         self.ensure_vars(cnf.num_vars());
         for clause in cnf.iter() {
             self.add_clause(clause.iter().copied());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Activation frames: assumption-scoped clause groups.
+    // ------------------------------------------------------------------
+
+    /// Creates a new activation frame and returns its identifier.
+    ///
+    /// Clauses added with [`Solver::add_clause_in`] are only enforced by
+    /// solve calls that activate the frame ([`Solver::solve_in`]); plain
+    /// [`Solver::solve`]/[`Solver::solve_with`] calls leave them dormant.
+    pub fn push_frame(&mut self) -> FrameId {
+        let lit = Lit::positive(self.new_var());
+        let id = FrameId(self.frames.len() as u32);
+        self.frames.push(Frame {
+            lit,
+            retired: false,
+        });
+        id
+    }
+
+    /// The activation literal of a frame, for callers that want to mix frame
+    /// activation with their own assumption vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame has been retired.
+    pub fn frame_lit(&self, frame: FrameId) -> Lit {
+        let f = self.frames[frame.0 as usize];
+        assert!(!f.retired, "frame {frame:?} has been retired");
+        f.lit
+    }
+
+    /// Returns `true` if [`Solver::retire_frame`] has been called on `frame`.
+    pub fn frame_retired(&self, frame: FrameId) -> bool {
+        self.frames[frame.0 as usize].retired
+    }
+
+    /// Adds a clause scoped to `frame`: it is enforced only while the frame
+    /// is activated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame has been retired or a literal references an
+    /// unknown variable.
+    pub fn add_clause_in<I>(&mut self, frame: FrameId, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let activation = self.frame_lit(frame);
+        let clause: Vec<Lit> = lits.into_iter().chain([!activation]).collect();
+        self.add_clause(clause);
+    }
+
+    /// Permanently disables all clauses of `frame` (logical deletion).
+    ///
+    /// The activation literal is fixed to false, so the frame's clauses — and
+    /// every learnt clause derived under the frame's assumption — become
+    /// vacuously satisfied.  Learnt clauses that do not depend on the frame
+    /// are untouched, which is the whole point of frames: retiring temporary
+    /// constraints keeps the solver's accumulated knowledge.  Call
+    /// [`Solver::simplify`] afterwards to reclaim the memory of the
+    /// now-satisfied clauses.
+    pub fn retire_frame(&mut self, frame: FrameId) {
+        let f = &mut self.frames[frame.0 as usize];
+        if f.retired {
+            return;
+        }
+        f.retired = true;
+        let lit = f.lit;
+        self.add_clause([!lit]);
+    }
+
+    /// Decides satisfiability with the given frames activated, under extra
+    /// assumptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the frames has been retired.
+    pub fn solve_in(&mut self, frames: &[FrameId], assumptions: &[Lit]) -> SolveResult {
+        let mut all: Vec<Lit> = frames.iter().map(|&f| self.frame_lit(f)).collect();
+        all.extend_from_slice(assumptions);
+        self.solve_with(&all)
+    }
+
+    /// Level-0 clause-database reduction: removes clauses that are already
+    /// satisfied by the top-level assignment and compacts the watch lists.
+    ///
+    /// This is what reclaims retired frames ([`Solver::retire_frame`]) and
+    /// constraints subsumed by unit clauses, so long-running incremental
+    /// sessions do not grow without bound.  Safe to call between solve calls;
+    /// must not be called while a solve is in progress.
+    pub fn simplify(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        let satisfied_at_root =
+            |solver: &Solver, cref: ClauseRef| {
+                solver.db.get(cref).lits.iter().any(|&l| {
+                    solver.lit_value(l) == LBool::True && solver.level[l.var().index()] == 0
+                })
+            };
+        let victims: Vec<ClauseRef> = self
+            .db
+            .live_refs()
+            .filter(|&cref| satisfied_at_root(self, cref))
+            .collect();
+        for cref in victims {
+            // A satisfied clause may still be recorded as the reason of a
+            // level-0 assignment; level-0 assignments are permanent, so the
+            // reason is never consulted again and can be dropped.
+            let first = self.db.get(cref).lits[0];
+            if self.reason[first.var().index()] == Some(cref) {
+                self.reason[first.var().index()] = None;
+            }
+            if !self.db.get(cref).learnt {
+                self.num_problem_clauses = self.num_problem_clauses.saturating_sub(1);
+            }
+            self.db.delete(cref);
+        }
+        for watchers in &mut self.watches {
+            let db = &self.db;
+            watchers.retain(|w| !db.get(w.cref).deleted);
         }
     }
 
@@ -404,7 +551,10 @@ impl Solver {
                 }
                 let first = self.db.get(cref).lits[0];
                 if first != w.blocker && self.lit_value(first) == LBool::True {
-                    watchers[keep] = Watcher { cref, blocker: first };
+                    watchers[keep] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
                     keep += 1;
                     continue;
                 }
@@ -413,12 +563,18 @@ impl Solver {
                     let lk = self.db.get(cref).lits[k];
                     if self.lit_value(lk) != LBool::False {
                         self.db.get_mut(cref).lits.swap(1, k);
-                        self.watches[(!lk).code()].push(Watcher { cref, blocker: first });
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
                         continue 'watchers;
                     }
                 }
                 // Clause is unit or conflicting under the current assignment.
-                watchers[keep] = Watcher { cref, blocker: first };
+                watchers[keep] = Watcher {
+                    cref,
+                    blocker: first,
+                };
                 keep += 1;
                 if self.lit_value(first) == LBool::False {
                     conflict = Some(cref);
@@ -555,8 +711,7 @@ impl Solver {
         } else {
             let mut max_idx = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()] > self.level[learnt[max_idx].var().index()]
-                {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_idx].var().index()] {
                     max_idx = i;
                 }
             }
@@ -571,9 +726,11 @@ impl Solver {
             None => false,
             Some(cref) => {
                 let clause = self.db.get(cref);
-                clause.lits.iter().skip(1).all(|&q| {
-                    self.seen[q.var().index()] || self.level[q.var().index()] == 0
-                })
+                clause
+                    .lits
+                    .iter()
+                    .skip(1)
+                    .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0)
             }
         }
     }
@@ -858,6 +1015,137 @@ mod tests {
         let _ = s.solve();
         let stats = s.stats();
         assert!(stats.solves >= 1);
+    }
+
+    #[test]
+    fn frame_clauses_are_only_active_when_selected() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        let frame = s.push_frame();
+        // Scoped constraint: !a and !b — contradicts (a | b) when active.
+        s.add_clause_in(frame, [Lit::negative(a)]);
+        s.add_clause_in(frame, [Lit::negative(b)]);
+        assert_eq!(
+            s.solve(),
+            SolveResult::Sat,
+            "dormant frame must not constrain"
+        );
+        assert_eq!(s.solve_in(&[frame], &[]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat, "frame deactivates again");
+    }
+
+    #[test]
+    fn retired_frame_is_logically_deleted() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let frame = s.push_frame();
+        s.add_clause_in(frame, [Lit::negative(a)]);
+        s.add_clause([Lit::positive(a)]);
+        assert_eq!(s.solve_in(&[frame], &[]), SolveResult::Unsat);
+        s.retire_frame(frame);
+        assert!(s.frame_retired(frame));
+        // Retiring twice is a no-op.
+        s.retire_frame(frame);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(a)), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "retired")]
+    fn solving_in_a_retired_frame_panics() {
+        let mut s = Solver::new();
+        let frame = s.push_frame();
+        s.retire_frame(frame);
+        let _ = s.solve_in(&[frame], &[]);
+    }
+
+    #[test]
+    fn frames_mix_with_assumptions_and_each_other() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let f1 = s.push_frame();
+        let f2 = s.push_frame();
+        s.add_clause_in(f1, [Lit::positive(x)]);
+        s.add_clause_in(f2, [Lit::negative(x), Lit::positive(y)]);
+        assert_eq!(s.solve_in(&[f1, f2], &[]), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(x)), Some(true));
+        assert_eq!(s.value(Lit::positive(y)), Some(true));
+        assert_eq!(
+            s.solve_in(&[f1, f2], &[Lit::negative(y)]),
+            SolveResult::Unsat
+        );
+        // f2 alone leaves x free.
+        assert_eq!(
+            s.solve_in(&[f2], &[Lit::negative(x), Lit::negative(y)]),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn simplify_reclaims_retired_and_subsumed_clauses() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        let frame = s.push_frame();
+        for _ in 0..10 {
+            s.add_clause_in(frame, [Lit::negative(a), Lit::negative(b)]);
+        }
+        let before = s.num_clauses();
+        s.retire_frame(frame);
+        s.simplify();
+        assert!(
+            s.num_clauses() < before,
+            "simplify must delete the retired frame's clauses ({} -> {})",
+            before,
+            s.num_clauses()
+        );
+        // The solver is still correct afterwards.
+        assert_eq!(s.solve_with(&[Lit::negative(a)]), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(b)), Some(true));
+    }
+
+    #[test]
+    fn simplify_keeps_solver_sound_under_unit_subsumption() {
+        // Pin a variable, simplify away the satisfied clauses, and keep solving.
+        let mut s = solver_with(4, &[&[1, 2], &[-1, 3], &[2, 3, 4], &[-3, -4]]);
+        s.add_clause(lits(&[1]));
+        s.simplify();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.var_value(Var::from_index(0)), Some(true));
+        assert_eq!(s.var_value(Var::from_index(2)), Some(true));
+        assert_eq!(s.var_value(Var::from_index(3)), Some(false));
+        s.add_clause(lits(&[-2]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn learnt_clauses_survive_frame_retirement() {
+        // Solve a contradiction-rich query inside a frame, retire it, and
+        // check the solver still answers follow-up queries correctly.
+        let mut s = Solver::new();
+        let n = 12;
+        s.ensure_vars(n);
+        let v = |i: usize| Lit::positive(Var::from_index(i));
+        // Permanent: a parity-ish chain.
+        for i in 0..n - 1 {
+            s.add_clause([v(i), v(i + 1)]);
+            s.add_clause([!v(i), !v(i + 1)]);
+        }
+        let frame = s.push_frame();
+        s.add_clause_in(frame, [v(0)]);
+        s.add_clause_in(frame, [v(n - 1)]);
+        // n even: alternating chain forces v(n-1) != v(0) — frame is unsat.
+        assert_eq!(s.solve_in(&[frame], &[]), SolveResult::Unsat);
+        let learnt_before = s.stats().learnt_clauses;
+        s.retire_frame(frame);
+        s.simplify();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let _ = learnt_before; // retirement itself must not clear the database
+        assert!(s.is_ok());
     }
 
     #[test]

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let locked = if h == 0 {
                 TtLock::new(keys).with_seed(42).lock(&original)?.optimized()
             } else {
-                SfllHd::new(keys, h).with_seed(42).lock(&original)?.optimized()
+                SfllHd::new(keys, h)
+                    .with_seed(42)
+                    .lock(&original)?
+                    .optimized()
             };
             let result = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(h));
             total += 1;

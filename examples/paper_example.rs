@@ -7,7 +7,9 @@
 use fall::equivalence::candidate_equals_strip;
 use fall::functional::{analyze_unateness, sliding_window};
 use fall::structural::{find_candidates, find_comparators};
-use netlist::hamming::{equality_comparator, hamming_distance_equals, hamming_distance_equals_const};
+use netlist::hamming::{
+    equality_comparator, hamming_distance_equals, hamming_distance_equals_const,
+};
 use netlist::strash::strash;
 use netlist::{GateKind, Netlist, NodeId};
 
@@ -38,7 +40,9 @@ fn lock_with_ttlock() -> Netlist {
     let f = nl.add_gate("F", GateKind::And, &[a, nb, nc, d]);
     let y_fs = nl.add_gate("y_fs", GateKind::Xor, &[y, f]);
     // Restoration unit G: AND of XNOR comparators with the key inputs.
-    let keys: Vec<NodeId> = (0..4).map(|i| nl.add_key_input(format!("keyinput{i}"))).collect();
+    let keys: Vec<NodeId> = (0..4)
+        .map(|i| nl.add_key_input(format!("keyinput{i}")))
+        .collect();
     let g = equality_comparator(&mut nl, &[a, b, c, d], &keys);
     let y_locked = nl.add_gate("y_locked", GateKind::Xor, &[y_fs, g]);
     nl.replace_output(0, y_locked);
@@ -50,7 +54,9 @@ fn lock_with_sfll_hd1() -> Netlist {
     let (mut nl, inputs, y) = original_circuit();
     let f = hamming_distance_equals_const(&mut nl, &inputs, &CUBE, 1);
     let y_fs = nl.add_gate("y_fs", GateKind::Xor, &[y, f]);
-    let keys: Vec<NodeId> = (0..4).map(|i| nl.add_key_input(format!("keyinput{i}"))).collect();
+    let keys: Vec<NodeId> = (0..4)
+        .map(|i| nl.add_key_input(format!("keyinput{i}")))
+        .collect();
     let g = hamming_distance_equals(&mut nl, &inputs, &keys, 1);
     let y_locked = nl.add_gate("y_locked", GateKind::Xor, &[y_fs, g]);
     nl.replace_output(0, y_locked);

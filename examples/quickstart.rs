@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     assert_eq!(result.status, FallStatus::UniqueKey);
     let recovered = result.best_key().expect("unique key");
-    assert_eq!(recovered, &locked.key, "the recovered key must be the secret key");
+    assert_eq!(
+        recovered, &locked.key,
+        "the recovered key must be the secret key"
+    );
     println!("SUCCESS: recovered the secret key without any oracle access.");
     Ok(())
 }

@@ -77,6 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         confirmation.elapsed.as_secs_f64()
     );
     assert_eq!(confirmed, sfll.key);
-    println!("SUCCESS: the confirmed key equals the secret key ({}).", sfll.key);
+    println!(
+        "SUCCESS: the confirmed key equals the secret key ({}).",
+        sfll.key
+    );
     Ok(())
 }

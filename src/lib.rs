@@ -8,4 +8,3 @@ pub use fall;
 pub use locking;
 pub use netlist;
 pub use sat;
-

@@ -14,7 +14,11 @@ use netlist::random::{generate, RandomCircuitSpec};
 #[test]
 fn fall_never_confirms_a_wrong_key_on_sarlock() {
     let original = generate(&RandomCircuitSpec::new("base_sar", 14, 3, 110));
-    let locked = SarLock::new(10).with_seed(4).lock(&original).expect("lock").optimized();
+    let locked = SarLock::new(10)
+        .with_seed(4)
+        .lock(&original)
+        .expect("lock")
+        .optimized();
     let oracle = SimOracle::new(original.clone());
     let result = fall_attack(&locked.locked, Some(&oracle), &FallAttackConfig::for_h(0));
     if let Some(confirmed) = &result.confirmed_key {
@@ -31,7 +35,11 @@ fn fall_never_confirms_a_wrong_key_on_sarlock() {
 #[test]
 fn fall_never_confirms_a_wrong_key_on_antisat() {
     let original = generate(&RandomCircuitSpec::new("base_as", 14, 3, 110));
-    let locked = AntiSat::new(6).with_seed(9).lock(&original).expect("lock").optimized();
+    let locked = AntiSat::new(6)
+        .with_seed(9)
+        .lock(&original)
+        .expect("lock")
+        .optimized();
     let oracle = SimOracle::new(original.clone());
     let result = fall_attack(&locked.locked, Some(&oracle), &FallAttackConfig::for_h(0));
     if let Some(confirmed) = &result.confirmed_key {
@@ -46,13 +54,21 @@ fn sat_attack_key_unlocks_sarlock_and_antisat() {
     let original = generate(&RandomCircuitSpec::new("base_unlock", 12, 3, 90));
     let oracle = SimOracle::new(original.clone());
 
-    let sarlock = SarLock::new(6).with_seed(2).lock(&original).expect("lock").optimized();
+    let sarlock = SarLock::new(6)
+        .with_seed(2)
+        .lock(&original)
+        .expect("lock")
+        .optimized();
     let result = sat_attack(&sarlock.locked, &oracle, &SatAttackConfig::default());
     let key = result.key.expect("SAT attack finishes on small SARLock");
     let unlocked = apply_key(&sarlock.locked, &key);
     assert!(equivalent_to(&unlocked, &original, 2048, 3));
 
-    let antisat = AntiSat::new(5).with_seed(2).lock(&original).expect("lock").optimized();
+    let antisat = AntiSat::new(5)
+        .with_seed(2)
+        .lock(&original)
+        .expect("lock")
+        .optimized();
     let result = sat_attack(&antisat.locked, &oracle, &SatAttackConfig::default());
     let key = result.key.expect("SAT attack finishes on small Anti-SAT");
     let unlocked = apply_key(&antisat.locked, &key);
@@ -64,7 +80,11 @@ fn xor_locking_recovered_key_need_not_match_but_must_unlock() {
     // With XOR key gates several keys can be functionally equivalent; the SAT
     // attack may return any of them.  What matters is the unlocked function.
     let original = generate(&RandomCircuitSpec::new("base_xor", 12, 3, 90));
-    let locked = XorLock::new(10).with_seed(6).lock(&original).expect("lock").optimized();
+    let locked = XorLock::new(10)
+        .with_seed(6)
+        .lock(&original)
+        .expect("lock")
+        .optimized();
     let oracle = SimOracle::new(original.clone());
     let result = sat_attack(&locked.locked, &oracle, &SatAttackConfig::default());
     assert!(result.is_success());
@@ -78,7 +98,10 @@ fn corruption_ordering_matches_the_resilience_story() {
     // under wrong keys; XOR locking corrupts heavily.  This ordering is the
     // root cause of the Figure 5 behaviour.
     let original = generate(&RandomCircuitSpec::new("base_corr", 12, 3, 90));
-    let sfll = locking::SfllHd::new(10, 1).with_seed(1).lock(&original).expect("lock");
+    let sfll = locking::SfllHd::new(10, 1)
+        .with_seed(1)
+        .lock(&original)
+        .expect("lock");
     let sarlock = SarLock::new(10).with_seed(1).lock(&original).expect("lock");
     let xor = XorLock::new(10).with_seed(1).lock(&original).expect("lock");
 
@@ -90,5 +113,8 @@ fn corruption_ordering_matches_the_resilience_story() {
     let xor_corruption = corruption(&xor);
     assert!(sfll_corruption < xor_corruption);
     assert!(sarlock_corruption < xor_corruption);
-    assert!(xor_corruption > 0.05, "xor locking corruption {xor_corruption}");
+    assert!(
+        xor_corruption > 0.05,
+        "xor locking corruption {xor_corruption}"
+    );
 }
