@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # Local CI gate for the FALL attacks reproduction.
 #
-# Usage: ./ci.sh [--quick]
-#   --quick   skip the release build (format/lint/test only)
+# Usage: ./ci.sh [--quick|--bench-smoke]
+#   --quick        skip the release build (format/lint/test only)
+#   --bench-smoke  run ONLY the benchmark smoke suite: build the bench
+#                  harness in release mode, run the trimmed parallel-engine
+#                  workloads, write BENCH_parallel.json, and fail if any
+#                  tracked metric regresses >20% against the checked-in
+#                  baseline (crates/bench/baseline/BENCH_parallel.json).
+#                  Regenerate the baseline with:
+#                    cargo run --release -p fall-bench --bin bench_smoke -- --write-baseline
 #
 # Everything runs offline: external dependencies are vendored as local
 # API-compatible stand-ins under crates/compat/ (see crates/compat/README.md).
@@ -11,12 +18,23 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 quick=0
+bench_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
+        --bench-smoke) bench_smoke=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
+
+if [ "$bench_smoke" -eq 1 ]; then
+    echo "==> cargo run --release -p fall-bench --bin bench_smoke"
+    cargo run --release -p fall-bench --bin bench_smoke -- \
+        --baseline crates/bench/baseline/BENCH_parallel.json \
+        --out BENCH_parallel.json
+    echo "BENCH SMOKE OK"
+    exit 0
+fi
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check

@@ -349,7 +349,13 @@ pub fn key_confirmation_fresh(
 /// confirmation on each region in turn, returning the first confirmed key.
 ///
 /// This demonstrates how ϕ can be used to parallelise the SAT attack; the
-/// regions are independent and could be dispatched to worker threads.
+/// regions are independent and [`crate::parallel::parallel_partitioned_key_search`]
+/// dispatches them to worker threads.
+///
+/// `partition_bits` is clamped to the key width.  Requesting 64 or more
+/// effective partition bits would mean enumerating ≥ 2⁶⁴ regions (and
+/// overflows the region counter), so such calls return immediately with
+/// `completed: false` instead of panicking or silently wrapping.
 pub fn partitioned_key_search(
     locked: &Netlist,
     oracle: &dyn Oracle,
@@ -358,9 +364,18 @@ pub fn partitioned_key_search(
 ) -> KeyConfirmationResult {
     let width = locked.num_key_inputs();
     let partition_bits = partition_bits.min(width);
+    let start = Instant::now();
+    if partition_bits >= u64::BITS as usize {
+        return KeyConfirmationResult {
+            key: None,
+            completed: false,
+            iterations: 0,
+            oracle_queries: 0,
+            elapsed: start.elapsed(),
+        };
+    }
     let mut total_iterations = 0usize;
     let mut total_queries = 0usize;
-    let start = Instant::now();
     for region in 0..(1u64 << partition_bits) {
         let result = key_confirmation_with_predicate(locked, oracle, config, |solver, keys| {
             for (bit, &lit) in keys.iter().enumerate().take(partition_bits) {
@@ -520,6 +535,67 @@ mod tests {
                 incremental.key, fresh.key,
                 "shortlist {shortlist:?} must confirm the same key"
             );
+        }
+    }
+
+    #[test]
+    fn partitioned_search_with_zero_bits_is_plain_confirmation() {
+        let original = generate(&RandomCircuitSpec::new("kc_part0", 8, 2, 50));
+        let locked = SfllHd::new(4, 0)
+            .with_seed(6)
+            .lock(&original)
+            .expect("lock");
+        let oracle = SimOracle::new(original);
+        let result = partitioned_key_search(
+            &locked.locked,
+            &oracle,
+            0,
+            &KeyConfirmationConfig::default(),
+        );
+        assert!(result.completed);
+        let key = result
+            .key
+            .expect("single region covers the whole key space");
+        assert!(locked.key_is_functionally_correct(&key, 200, 4));
+    }
+
+    #[test]
+    fn partitioned_search_with_full_width_enumerates_single_keys() {
+        // partition_bits == key width: every region pins the entire key, so
+        // the search degenerates to trying each key value in turn.
+        let original = generate(&RandomCircuitSpec::new("kc_partw", 8, 2, 50));
+        let locked = SfllHd::new(3, 0)
+            .with_seed(4)
+            .lock(&original)
+            .expect("lock");
+        let oracle = SimOracle::new(original);
+        for requested in [3usize, 10] {
+            // Requests beyond the width are clamped to it.
+            let result = partitioned_key_search(
+                &locked.locked,
+                &oracle,
+                requested,
+                &KeyConfirmationConfig::default(),
+            );
+            assert!(result.completed, "requested {requested}");
+            let key = result.key.expect("key recovered");
+            assert!(locked.key_is_functionally_correct(&key, 200, 4));
+        }
+    }
+
+    #[test]
+    fn partitioned_search_refuses_unenumerable_partitions() {
+        // 64 effective partition bits would overflow `1u64 << bits`; the
+        // search must return a clean unfinished result instead.
+        let (locked, original) = crate::test_fixtures::wide_key_circuit_and_original();
+        let oracle = SimOracle::new(original);
+        for bits in [64usize, 65, usize::MAX] {
+            let result =
+                partitioned_key_search(&locked, &oracle, bits, &KeyConfirmationConfig::default());
+            assert!(!result.completed, "bits {bits}");
+            assert_eq!(result.key, None);
+            assert_eq!(result.iterations, 0);
+            assert_eq!(result.oracle_queries, 0);
         }
     }
 

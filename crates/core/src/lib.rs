@@ -27,6 +27,11 @@
 //! frames, so learnt clauses accumulate across the entire attack instead of
 //! being discarded per query.
 //!
+//! The [`parallel`] module scales the stack across threads: § VI-D key-space
+//! partitioning on a worker pool ([`parallel::parallel_partitioned_key_search`],
+//! one session per worker, shared deduplicating oracle cache, first-winner
+//! cancellation) and solver portfolios ([`parallel::portfolio_sat_attack`]).
+//!
 //! # Example: break SFLL-HD without an oracle
 //!
 //! ```
@@ -53,6 +58,7 @@ pub mod functional;
 pub mod heuristics;
 pub mod key_confirmation;
 pub mod oracle;
+pub mod parallel;
 pub mod sat_attack;
 pub mod session;
 pub mod structural;
@@ -61,5 +67,33 @@ pub mod unlock;
 pub use attack::{fall_attack, FallAttackConfig, FallAttackResult, FallStatus};
 pub use key_confirmation::{key_confirmation, KeyConfirmationConfig, KeyConfirmationResult};
 pub use oracle::{CountingOracle, Oracle, SimOracle};
+pub use parallel::{
+    parallel_partitioned_key_search, portfolio_sat_attack, CachingOracle, CancelToken,
+    ParallelSearchResult, PortfolioResult,
+};
 pub use sat_attack::{sat_attack, SatAttackConfig, SatAttackResult, SatAttackStatus};
 pub use session::{AttackSession, KeyVector};
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use netlist::{GateKind, Netlist};
+
+    /// A locked netlist with 64 key inputs (XOR chain) plus a trivial
+    /// keyless original for its oracle — shared by the partition-overflow
+    /// guard tests of `key_confirmation` and `parallel`.
+    pub(crate) fn wide_key_circuit_and_original() -> (Netlist, Netlist) {
+        let mut locked = Netlist::new("wide");
+        let a = locked.add_input("a");
+        let mut acc = a;
+        for i in 0..64 {
+            let k = locked.add_key_input(format!("k{i}"));
+            acc = locked.add_gate(format!("x{i}"), GateKind::Xor, &[acc, k]);
+        }
+        locked.add_output("y", acc);
+
+        let mut original = Netlist::new("wide_orig");
+        let oa = original.add_input("a");
+        original.add_output("y", oa);
+        (locked, original)
+    }
+}

@@ -6,7 +6,7 @@
 //! simulating the original unlocked netlist; [`CountingOracle`] wraps any
 //! oracle and counts queries, which the experiments report.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use netlist::Netlist;
 
@@ -90,10 +90,13 @@ impl Oracle for ActivatedOracle {
 }
 
 /// Wraps an oracle and counts the number of queries issued.
+///
+/// The counter is atomic, so a `CountingOracle` over a `Sync` oracle is
+/// itself `Sync` and can sit underneath the parallel engine's shared cache.
 #[derive(Debug)]
 pub struct CountingOracle<O> {
     inner: O,
-    queries: Cell<usize>,
+    queries: AtomicUsize,
 }
 
 impl<O: Oracle> CountingOracle<O> {
@@ -101,13 +104,13 @@ impl<O: Oracle> CountingOracle<O> {
     pub fn new(inner: O) -> CountingOracle<O> {
         CountingOracle {
             inner,
-            queries: Cell::new(0),
+            queries: AtomicUsize::new(0),
         }
     }
 
     /// Number of queries issued so far.
     pub fn queries(&self) -> usize {
-        self.queries.get()
+        self.queries.load(Ordering::Relaxed)
     }
 
     /// Returns the wrapped oracle.
@@ -118,7 +121,7 @@ impl<O: Oracle> CountingOracle<O> {
 
 impl<O: Oracle> Oracle for CountingOracle<O> {
     fn query(&self, inputs: &[bool]) -> Vec<bool> {
-        self.queries.set(self.queries.get() + 1);
+        self.queries.fetch_add(1, Ordering::Relaxed);
         self.inner.query(inputs)
     }
 

@@ -1,0 +1,513 @@
+//! The parallel attack engine: partitioned key search on a worker pool and
+//! solver portfolios.
+//!
+//! § VI-D of the paper observes that the key-confirmation predicate ϕ makes
+//! the key space trivially partitionable: fixing the first `p` key bits
+//! yields `2^p` *independent* regions, each a self-contained confirmation
+//! problem.  This module dispatches those regions to a fixed pool of worker
+//! threads; every region runs in its own [`sat::Solver`]-backed
+//! [`AttackSession`] (a session carries exactly one confirmation predicate,
+//! so regions cannot yet share one — see ROADMAP for frame-scoped
+//! predicates):
+//!
+//! * **Work queue, not static chunking** — regions are pulled from a shared
+//!   atomic counter, so a worker that drew an easy (quickly-UNSAT) region
+//!   immediately moves on while a skewed region keeps exactly one worker
+//!   busy.
+//! * **Shared oracle cache** — all workers query the activated chip through
+//!   one [`CachingOracle`]: a sharded map that deduplicates concurrent
+//!   queries, so the parallel attack issues (almost) no more real oracle
+//!   queries than the serial one.  Real oracle access is the expensive,
+//!   physically-limited resource in the threat model, so this matters more
+//!   than raw CPU scaling.
+//! * **Cancellation token** — the moment one worker confirms a key, every
+//!   other solver observes the shared [`CancelToken`] at its next check
+//!   point (mid-search, not just between queries) and backs out.
+//!
+//! [`portfolio_sat_attack`] applies the same pool to a different axis:
+//! instead of splitting the key space it races N deliberately diverse
+//! [`SolverConfig`]s (restart pacing, decay rates, phase polarity, random
+//! branching — see [`SolverConfig::portfolio`]) on the *same* SAT-attack
+//! instance and takes the first winner, the classic portfolio pattern of
+//! parallel SAT solving.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use locking::Key;
+use netlist::Netlist;
+use sat::SolverConfig;
+
+use crate::key_confirmation::{key_confirmation_with_predicate_in, KeyConfirmationConfig};
+use crate::oracle::Oracle;
+use crate::sat_attack::{sat_attack_in, SatAttackConfig, SatAttackResult};
+use crate::session::AttackSession;
+
+/// A cloneable cancellation token shared by a group of workers.
+///
+/// Cancelling is sticky and idempotent.  Solvers observe the token through
+/// [`AttackSession::set_interrupt`], so a long-running SAT query stops at its
+/// next conflict/decision check point rather than at the next attack-loop
+/// iteration.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation of every worker sharing this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Returns `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The shared flag, in the form [`AttackSession::set_interrupt`] expects.
+    pub fn as_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// Number of independently-locked shards in a [`CachingOracle`].
+const ORACLE_SHARDS: usize = 16;
+
+/// A thread-safe, deduplicating adapter around an I/O oracle.
+///
+/// Queries are memoized in a map sharded by input-pattern hash, so workers
+/// contend on a shard only when they race on *nearby* patterns; the shard
+/// lock is held across the underlying query, which guarantees each distinct
+/// pattern reaches the real oracle exactly once no matter how many workers
+/// ask for it concurrently.
+pub struct CachingOracle<'o> {
+    inner: &'o (dyn Oracle + Sync),
+    shards: [Mutex<HashMap<Vec<bool>, Vec<bool>>>; ORACLE_SHARDS],
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<'o> CachingOracle<'o> {
+    /// Wraps an oracle in a fresh (empty) shared cache.
+    pub fn new(inner: &'o (dyn Oracle + Sync)) -> CachingOracle<'o> {
+        CachingOracle {
+            inner,
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of queries answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct patterns forwarded to the underlying oracle.
+    pub fn unique_queries(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, inputs: &[bool]) -> &Mutex<HashMap<Vec<bool>, Vec<bool>>> {
+        let mut hasher = DefaultHasher::new();
+        inputs.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % ORACLE_SHARDS]
+    }
+}
+
+impl Oracle for CachingOracle<'_> {
+    fn query(&self, inputs: &[bool]) -> Vec<bool> {
+        let mut shard = self.shard(inputs).lock().expect("oracle shard poisoned");
+        if let Some(outputs) = shard.get(inputs) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return outputs.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outputs = self.inner.query(inputs);
+        shard.insert(inputs.to_vec(), outputs.clone());
+        outputs
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+}
+
+/// The outcome of a [`parallel_partitioned_key_search`] run.
+#[derive(Clone, Debug)]
+pub struct ParallelSearchResult {
+    /// The confirmed key, or `None` if no region contained one.
+    pub key: Option<Key>,
+    /// `true` if the search finished: either a key was confirmed or every
+    /// region completed (proving no key exists).  `false` when a region hit
+    /// its budgets or the partition was unenumerable.
+    pub completed: bool,
+    /// Distinguishing-input iterations summed across all workers.
+    pub iterations: usize,
+    /// Distinct patterns that reached the real oracle (cache misses).
+    pub oracle_queries: usize,
+    /// Oracle queries answered from the shared cache.
+    pub cache_hits: usize,
+    /// Regions fully or partially searched before the run ended.
+    pub regions_searched: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// Parallel version of [`crate::key_confirmation::partitioned_key_search`]:
+/// the `2^partition_bits` key-space regions are pulled from a shared work
+/// queue by `workers` threads, each running key confirmation in its own
+/// [`AttackSession`], with a shared deduplicating oracle cache and
+/// first-winner cancellation.
+///
+/// `partition_bits` is clamped to the key width; ≥ 64 effective bits returns
+/// `completed: false` immediately (see the serial version for why).  One
+/// worker behaves exactly like the serial search modulo region ordering.
+pub fn parallel_partitioned_key_search(
+    locked: &Netlist,
+    oracle: &(dyn Oracle + Sync),
+    partition_bits: usize,
+    workers: usize,
+    config: &KeyConfirmationConfig,
+) -> ParallelSearchResult {
+    let start = Instant::now();
+    let workers = workers.max(1);
+    let partition_bits = partition_bits.min(locked.num_key_inputs());
+    let empty = |completed| ParallelSearchResult {
+        key: None,
+        completed,
+        iterations: 0,
+        oracle_queries: 0,
+        cache_hits: 0,
+        regions_searched: 0,
+        workers,
+        elapsed: start.elapsed(),
+    };
+    if partition_bits >= u64::BITS as usize {
+        return empty(false);
+    }
+    let num_regions = 1u64 << partition_bits;
+
+    let cache = CachingOracle::new(oracle);
+    let cancel = CancelToken::new();
+    let next_region = AtomicU64::new(0);
+    let winner: Mutex<Option<Key>> = Mutex::new(None);
+    let exhausted_budget = AtomicBool::new(false);
+    let iterations = AtomicUsize::new(0);
+    let regions_searched = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                let region = next_region.fetch_add(1, Ordering::Relaxed);
+                if region >= num_regions {
+                    break;
+                }
+                regions_searched.fetch_add(1, Ordering::Relaxed);
+
+                let mut session = AttackSession::new(locked);
+                session.set_interrupt(Some(cancel.as_flag()));
+                let result =
+                    key_confirmation_with_predicate_in(&mut session, &cache, config, |s, keys| {
+                        for (bit, &lit) in keys.iter().enumerate().take(partition_bits) {
+                            let value = (region >> bit) & 1 == 1;
+                            s.add_clause([if value { lit } else { !lit }]);
+                        }
+                    });
+                iterations.fetch_add(result.iterations, Ordering::Relaxed);
+
+                if let Some(key) = result.key {
+                    *winner.lock().expect("winner lock poisoned") = Some(key);
+                    cancel.cancel();
+                    break;
+                }
+                if !result.completed {
+                    // Distinguish "another worker won and interrupted us"
+                    // from a genuine budget exhaustion, which — mirroring the
+                    // serial search — aborts the whole run.
+                    if !cancel.is_cancelled() {
+                        exhausted_budget.store(true, Ordering::SeqCst);
+                        cancel.cancel();
+                    }
+                    break;
+                }
+            });
+        }
+    });
+
+    let key = winner.into_inner().expect("winner lock poisoned");
+    let searched = regions_searched.load(Ordering::Relaxed);
+    let completed = key.is_some()
+        || (!exhausted_budget.load(Ordering::SeqCst) && searched as u64 == num_regions);
+    ParallelSearchResult {
+        completed,
+        key,
+        iterations: iterations.load(Ordering::Relaxed),
+        oracle_queries: cache.unique_queries(),
+        cache_hits: cache.hits(),
+        regions_searched: searched,
+        workers,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// The outcome of a [`portfolio_sat_attack`] run.
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// The winning attack result (or, when nobody won, the first loser's).
+    pub result: SatAttackResult,
+    /// Index into the configuration slice of the racer that won.
+    pub winner: Option<usize>,
+    /// Racers launched.
+    pub workers: usize,
+    /// Distinct patterns that reached the real oracle (cache misses).
+    pub oracle_queries: usize,
+    /// Oracle queries answered from the shared cache.
+    pub cache_hits: usize,
+    /// Wall-clock time of the whole race.
+    pub elapsed: Duration,
+}
+
+/// Races one SAT attack per [`SolverConfig`] on the same locked circuit and
+/// returns the first success, cancelling the rest.
+///
+/// All racers share one [`CachingOracle`], so distinguishing inputs
+/// discovered by one racer are free for the others — the portfolio costs CPU,
+/// not oracle access.  When every racer fails (timeout, budget, inconsistent
+/// oracle), the first failure recorded is returned with `winner: None`.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+pub fn portfolio_sat_attack(
+    locked: &Netlist,
+    oracle: &(dyn Oracle + Sync),
+    configs: &[SolverConfig],
+    attack: &SatAttackConfig,
+) -> PortfolioResult {
+    assert!(!configs.is_empty(), "portfolio needs at least one config");
+    let start = Instant::now();
+    let cache = CachingOracle::new(oracle);
+    let cancel = CancelToken::new();
+    let outcome: Mutex<Option<(Option<usize>, SatAttackResult)>> = Mutex::new(None);
+
+    thread::scope(|scope| {
+        for (index, solver_config) in configs.iter().enumerate() {
+            let (cache, cancel, outcome) = (&cache, &cancel, &outcome);
+            scope.spawn(move || {
+                let mut session = AttackSession::with_config(locked, solver_config.clone());
+                session.set_interrupt(Some(cancel.as_flag()));
+                let result = sat_attack_in(&mut session, cache, attack);
+                let mut slot = outcome.lock().expect("outcome lock poisoned");
+                if result.is_success() {
+                    if !matches!(&*slot, Some((Some(_), _))) {
+                        *slot = Some((Some(index), result));
+                        cancel.cancel();
+                    }
+                } else if slot.is_none() && !cancel.is_cancelled() {
+                    // Remember the first genuine failure as the fallback
+                    // verdict; keep racing — someone else may still win.
+                    *slot = Some((None, result));
+                }
+            });
+        }
+    });
+
+    let (winner, result) = outcome
+        .into_inner()
+        .expect("outcome lock poisoned")
+        .expect("every racer records an outcome");
+    PortfolioResult {
+        result,
+        winner,
+        workers: configs.len(),
+        oracle_queries: cache.unique_queries(),
+        cache_hits: cache.hits(),
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key_confirmation::{partitioned_key_search, KeyConfirmationConfig};
+    use crate::oracle::SimOracle;
+    use crate::sat_attack::SatAttackStatus;
+    use locking::{LockingScheme, SfllHd, XorLock};
+    use netlist::random::{generate, RandomCircuitSpec};
+
+    #[test]
+    fn cancel_token_is_sticky_and_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn caching_oracle_deduplicates_queries() {
+        let nl = generate(&RandomCircuitSpec::new("cache", 6, 2, 30));
+        let sim = SimOracle::new(nl.clone());
+        let cache = CachingOracle::new(&sim);
+        let a = vec![true, false, true, false, true, false];
+        let b = vec![false; 6];
+        assert_eq!(cache.query(&a), nl.evaluate(&a, &[]));
+        assert_eq!(cache.query(&b), nl.evaluate(&b, &[]));
+        assert_eq!(cache.query(&a), nl.evaluate(&a, &[]));
+        assert_eq!(cache.unique_queries(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.num_inputs(), 6);
+        assert_eq!(cache.num_outputs(), 2);
+    }
+
+    #[test]
+    fn caching_oracle_is_consistent_under_concurrency() {
+        let nl = generate(&RandomCircuitSpec::new("cache_mt", 8, 2, 40));
+        let sim = SimOracle::new(nl.clone());
+        let cache = CachingOracle::new(&sim);
+        thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                let nl = &nl;
+                scope.spawn(move || {
+                    for pattern in 0..32u64 {
+                        let bits = netlist::sim::pattern_to_bits(pattern ^ t, 8);
+                        assert_eq!(cache.query(&bits), nl.evaluate(&bits, &[]));
+                    }
+                });
+            }
+        });
+        // 4 threads × 32 overlapping patterns, but ≤ 35 distinct ones.
+        assert!(cache.unique_queries() <= 35, "{}", cache.unique_queries());
+        assert_eq!(cache.hits() + cache.unique_queries(), 128);
+    }
+
+    #[test]
+    fn parallel_search_agrees_with_serial_across_worker_counts() {
+        let original = generate(&RandomCircuitSpec::new("par_kc", 8, 2, 50));
+        let locked = SfllHd::new(5, 0)
+            .with_seed(2)
+            .lock(&original)
+            .expect("lock");
+        let oracle = SimOracle::new(original);
+        let config = KeyConfirmationConfig::default();
+        let serial = partitioned_key_search(&locked.locked, &oracle, 2, &config);
+        assert!(serial.completed);
+        for workers in 1..=4 {
+            let parallel =
+                parallel_partitioned_key_search(&locked.locked, &oracle, 2, workers, &config);
+            assert!(parallel.completed, "{workers} workers");
+            let key = parallel.key.as_ref().expect("key recovered");
+            assert!(
+                locked.key_is_functionally_correct(key, 200, 4),
+                "{workers} workers"
+            );
+            assert_eq!(parallel.workers, workers);
+            assert!(parallel.regions_searched as u64 <= 4);
+        }
+    }
+
+    #[test]
+    fn parallel_search_reports_exhausted_key_space() {
+        // An oracle for an unrelated circuit: no key in any region works.
+        let original = generate(&RandomCircuitSpec::new("par_none", 8, 2, 50));
+        let unrelated = generate(&RandomCircuitSpec::new("par_none2", 8, 2, 50).with_seed(7));
+        let locked = XorLock::new(4).with_seed(3).lock(&original).expect("lock");
+        let oracle = SimOracle::new(unrelated);
+        let result = parallel_partitioned_key_search(
+            &locked.locked,
+            &oracle,
+            2,
+            2,
+            &KeyConfirmationConfig::default(),
+        );
+        assert!(result.completed);
+        assert_eq!(result.key, None);
+        assert_eq!(result.regions_searched, 4);
+    }
+
+    #[test]
+    fn parallel_search_guards_unenumerable_partitions() {
+        let (locked, original) = crate::test_fixtures::wide_key_circuit_and_original();
+        let oracle = SimOracle::new(original);
+        let result = parallel_partitioned_key_search(
+            &locked,
+            &oracle,
+            usize::MAX,
+            4,
+            &KeyConfirmationConfig::default(),
+        );
+        assert!(!result.completed);
+        assert_eq!(result.key, None);
+        assert_eq!(result.regions_searched, 0);
+    }
+
+    #[test]
+    fn portfolio_first_winner_takes_it() {
+        let original = generate(&RandomCircuitSpec::new("pf", 8, 3, 60));
+        let locked = XorLock::new(6).with_seed(5).lock(&original).expect("lock");
+        let oracle = SimOracle::new(original.clone());
+        let outcome = portfolio_sat_attack(
+            &locked.locked,
+            &oracle,
+            &SolverConfig::portfolio(3),
+            &SatAttackConfig::default(),
+        );
+        assert!(outcome.result.is_success(), "{:?}", outcome.result.status);
+        assert!(outcome.winner.is_some());
+        assert_eq!(outcome.workers, 3);
+        let key = outcome.result.key.expect("key");
+        for pattern in 0..256u64 {
+            let bits = netlist::sim::pattern_to_bits(pattern, 8);
+            assert_eq!(
+                locked.locked.evaluate(&bits, key.bits()),
+                original.evaluate(&bits, &[]),
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_reports_failure_when_nobody_wins() {
+        let original = generate(&RandomCircuitSpec::new("pf_fail", 10, 2, 70));
+        let locked = SfllHd::new(9, 0)
+            .with_seed(3)
+            .lock(&original)
+            .expect("lock");
+        let oracle = SimOracle::new(original);
+        let attack = SatAttackConfig {
+            max_iterations: 3,
+            time_limit: None,
+            conflict_budget: None,
+        };
+        let outcome = portfolio_sat_attack(
+            &locked.locked,
+            &oracle,
+            &SolverConfig::portfolio(2),
+            &attack,
+        );
+        assert!(outcome.winner.is_none());
+        assert_eq!(outcome.result.status, SatAttackStatus::IterationLimit);
+    }
+}

@@ -26,12 +26,14 @@
 //!   a cofactor or HD-pair check adds no clauses at all.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 use locking::Key;
-use netlist::cnf::{encode_any_difference, encode_with_fixed_inputs, Signal};
+use netlist::cnf::{encode_any_difference, encode_key_cone, KeyCone, Signal};
 use netlist::cnf::{IncrementalEncoder, PinBinding};
 use netlist::{Netlist, NodeId};
-use sat::{FrameId, Lit, SolveResult, Solver, SolverStats};
+use sat::{FrameId, Lit, SolveResult, Solver, SolverConfig, SolverStats};
 
 use crate::encode::{
     assumptions_for, instantiate, instantiate_sharing_inputs, model_key, model_values, CircuitCopy,
@@ -96,6 +98,10 @@ pub struct AttackSession<'n> {
     solver: Solver,
     dip: Option<DipParts>,
     cones: Option<ConeParts>,
+    /// Key-dependent node set, computed once on the first I/O constraint and
+    /// reused by every later [`AttackSession::constrain_key_with_io`] /
+    /// [`AttackSession::force_dip`] call.
+    key_cone: Option<KeyCone>,
     clauses_at_last_simplify: usize,
 }
 
@@ -103,13 +109,32 @@ impl<'n> AttackSession<'n> {
     /// Creates an empty session for a locked netlist.  Nothing is encoded
     /// until the first query arrives.
     pub fn new(netlist: &'n Netlist) -> AttackSession<'n> {
+        AttackSession::with_config(netlist, SolverConfig::default())
+    }
+
+    /// Creates an empty session whose solver uses the given search
+    /// configuration (the portfolio entry point: each racer gets its own
+    /// deliberately diverse configuration).
+    pub fn with_config(netlist: &'n Netlist, config: SolverConfig) -> AttackSession<'n> {
         AttackSession {
             netlist,
-            solver: Solver::new(),
+            solver: Solver::with_config(config),
             dip: None,
             cones: None,
+            key_cone: None,
             clauses_at_last_simplify: 0,
         }
+    }
+
+    /// Installs (or clears) a shared interrupt flag on the underlying solver.
+    ///
+    /// While the flag reads `true`, every SAT query returns
+    /// [`SolveResult::Unknown`] at its next check point, which the attack
+    /// loops surface as an unfinished (`completed: false`) result.  The
+    /// parallel engine uses this to stop all workers the moment one confirms
+    /// a key.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.solver.set_interrupt(flag);
     }
 
     /// The netlist this session attacks.
@@ -260,15 +285,45 @@ impl<'n> AttackSession<'n> {
         model_values(&self.solver, &dip.inputs)
     }
 
+    /// Simulates the key-free portion of the circuit for one input pattern
+    /// (key bits are irrelevant outside the key cone) and memoizes the
+    /// key-dependent node set on first use.
+    fn simulate_key_free(&mut self, inputs: &[bool]) -> Vec<bool> {
+        if self.key_cone.is_none() {
+            self.key_cone = Some(KeyCone::of(self.netlist));
+        }
+        let zero_keys = vec![false; self.netlist.num_key_inputs()];
+        self.netlist
+            .node_values(inputs, &zero_keys)
+            .expect("input width mismatch")
+    }
+
     /// Adds the observed I/O pair `C(x̂, K, ŷ)` as a constraint on one key
     /// vector — permanent for `K2` and `Kϕ`, scoped to the `K1` I/O frame
     /// for `K1` (see [`AttackSession::find_dip_against`] for why).
     ///
-    /// Key-independent logic is constant-folded away, so only the key cone is
-    /// encoded.  If an output bit is key-independent and contradicts the
-    /// observation, the constrained formula becomes unsatisfiable (the locked
-    /// circuit cannot produce the observed behaviour under any key).
+    /// Only the session's precomputed key-dependent cone is encoded
+    /// ([`netlist::cnf::encode_key_cone`]); every key-free wire is read from
+    /// one simulator pass instead of being re-derived by constant folding
+    /// over the whole netlist.  If an output bit is key-independent and
+    /// contradicts the observation, the constrained formula becomes
+    /// unsatisfiable (the locked circuit cannot produce the observed
+    /// behaviour under any key).
     pub fn constrain_key_with_io(&mut self, which: KeyVector, inputs: &[bool], outputs: &[bool]) {
+        let node_values = self.simulate_key_free(inputs);
+        self.constrain_key_with_io_presimulated(which, &node_values, outputs);
+        self.maybe_simplify();
+    }
+
+    /// Inner constraint step over an existing simulation pass, so
+    /// [`AttackSession::force_dip`] folds the key cone twice but simulates
+    /// only once.
+    fn constrain_key_with_io_presimulated(
+        &mut self,
+        which: KeyVector,
+        node_values: &[bool],
+        outputs: &[bool],
+    ) {
         self.ensure_dip();
         let dip = self.dip.as_mut().expect("just ensured");
         let (keys, frame) = match which {
@@ -281,7 +336,8 @@ impl<'n> AttackSession<'n> {
                 None,
             ),
         };
-        let signals = encode_with_fixed_inputs(self.netlist, &mut self.solver, inputs, &keys);
+        let cone = self.key_cone.as_ref().expect("ensured by caller");
+        let signals = encode_key_cone(self.netlist, &mut self.solver, cone, node_values, &keys);
         assert_eq!(signals.len(), outputs.len(), "output width mismatch");
         let force = |solver: &mut Solver, lit: Lit| match frame {
             Some(frame) => solver.add_clause_in(frame, [lit]),
@@ -301,14 +357,16 @@ impl<'n> AttackSession<'n> {
                 Signal::Lit(l) => force(&mut self.solver, if want { *l } else { !*l }),
             }
         }
-        self.maybe_simplify();
     }
 
     /// Classic SAT-attack bookkeeping: constrains both DIP key copies with
-    /// the observed I/O pair.
+    /// the observed I/O pair.  The key-free logic is simulated once and
+    /// shared by both constraint passes.
     pub fn force_dip(&mut self, inputs: &[bool], outputs: &[bool]) {
-        self.constrain_key_with_io(KeyVector::A, inputs, outputs);
-        self.constrain_key_with_io(KeyVector::B, inputs, outputs);
+        let node_values = self.simulate_key_free(inputs);
+        self.constrain_key_with_io_presimulated(KeyVector::A, &node_values, outputs);
+        self.constrain_key_with_io_presimulated(KeyVector::B, &node_values, outputs);
+        self.maybe_simplify();
     }
 
     /// Solves the predicate formula (difference constraint dormant) and

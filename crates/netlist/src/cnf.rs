@@ -257,6 +257,127 @@ impl Signal {
     }
 }
 
+/// The key-dependent part of a netlist, precomputed once and reused across
+/// many [`encode_key_cone`] calls.
+///
+/// A node is *key-dependent* if a key input lies in its transitive fanin.
+/// Everything outside this cone is a pure function of the primary inputs, so
+/// when the inputs are fixed to constants its value can be read off a single
+/// simulator pass instead of being re-derived by constant folding over the
+/// whole netlist.  The cone is typically a small fraction of the circuit (the
+/// locking logic), which is what makes the per-iteration work of the DIP loop
+/// proportional to the lock, not the design.
+#[derive(Clone, Debug)]
+pub struct KeyCone {
+    /// `in_cone[NodeId::index]` — is the node key-dependent?
+    in_cone: Vec<bool>,
+    /// Indices of the key-dependent *gate* nodes, in topological order.
+    gates: Vec<usize>,
+    /// Output positions whose node is key-dependent.
+    key_dependent_outputs: Vec<usize>,
+}
+
+impl KeyCone {
+    /// Computes the key-dependent node set in one topological sweep.
+    pub fn of(netlist: &Netlist) -> KeyCone {
+        let mut in_cone = vec![false; netlist.num_nodes()];
+        for &id in netlist.key_inputs() {
+            in_cone[id.index()] = true;
+        }
+        let mut gates = Vec::new();
+        for (id, node) in netlist.iter() {
+            if let NodeKind::Gate { fanins, .. } = node.kind() {
+                if fanins.iter().any(|f| in_cone[f.index()]) {
+                    in_cone[id.index()] = true;
+                    gates.push(id.index());
+                }
+            }
+        }
+        let key_dependent_outputs = netlist
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, id))| in_cone[id.index()])
+            .map(|(pos, _)| pos)
+            .collect();
+        KeyCone {
+            in_cone,
+            gates,
+            key_dependent_outputs,
+        }
+    }
+
+    /// Returns `true` if `node` is key-dependent.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.in_cone[node.index()]
+    }
+
+    /// Number of key-dependent gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Output positions (declaration order) whose value depends on the key.
+    pub fn key_dependent_outputs(&self) -> &[usize] {
+        &self.key_dependent_outputs
+    }
+}
+
+/// Cone-scoped variant of [`encode_with_fixed_inputs`]: encodes only the
+/// precomputed key-dependent cone, reading every key-free wire from
+/// `node_values` (a full simulation of the netlist under the fixed inputs,
+/// e.g. [`crate::Netlist::node_values`] with arbitrary key bits — key-free
+/// nodes do not observe them).
+///
+/// Produces exactly the same output [`Signal`]s as the full constant-folding
+/// walk, but touches `O(|key cone|)` nodes instead of `O(|netlist|)`.
+///
+/// # Panics
+///
+/// Panics if `keys` or `node_values` have the wrong width.
+pub fn encode_key_cone(
+    netlist: &Netlist,
+    solver: &mut Solver,
+    cone: &KeyCone,
+    node_values: &[bool],
+    keys: &[Lit],
+) -> Vec<Signal> {
+    assert_eq!(keys.len(), netlist.num_key_inputs(), "key width");
+    assert_eq!(
+        node_values.len(),
+        netlist.num_nodes(),
+        "node-value vector width"
+    );
+
+    let mut cone_signals: Vec<Option<Signal>> = vec![None; netlist.num_nodes()];
+    for (pos, &id) in netlist.key_inputs().iter().enumerate() {
+        cone_signals[id.index()] = Some(Signal::Lit(keys[pos]));
+    }
+    for &index in &cone.gates {
+        let node = netlist.node(NodeId::from_index(index));
+        let NodeKind::Gate { kind, fanins } = node.kind() else {
+            unreachable!("KeyCone::gates only holds gate nodes");
+        };
+        let fanin_signals: Vec<Signal> = fanins
+            .iter()
+            .map(|f| match cone_signals[f.index()] {
+                Some(signal) => signal,
+                None => Signal::Const(node_values[f.index()]),
+            })
+            .collect();
+        cone_signals[index] = Some(encode_gate_signals(solver, *kind, &fanin_signals));
+    }
+
+    netlist
+        .outputs()
+        .iter()
+        .map(|&(_, id)| match cone_signals[id.index()] {
+            Some(signal) => signal,
+            None => Signal::Const(node_values[id.index()]),
+        })
+        .collect()
+}
+
 /// Encodes the circuit relation with the primary inputs fixed to constants
 /// and the key inputs bound to existing literals.
 ///
@@ -265,6 +386,9 @@ impl Signal {
 /// encoded.  This is what makes the DIP loop of the incremental SAT attack
 /// cheap: each observed I/O pair `C(x̂, K, ŷ)` adds clauses proportional to
 /// the key-dependent logic only.
+///
+/// [`encode_key_cone`] is the faster path used by long-running sessions: it
+/// walks a precomputed key-dependent cone instead of the whole netlist.
 ///
 /// Returns one [`Signal`] per declared output, in declaration order.
 ///
@@ -690,6 +814,75 @@ mod tests {
                     assert_eq!(
                         got, want,
                         "inputs {input_pattern:02b} keys {key_pattern:02b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_cone_identifies_key_dependent_nodes() {
+        let mut nl = Netlist::new("cone_id");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k = nl.add_key_input("k");
+        let free = nl.add_gate("free", GateKind::And, &[a, b]);
+        let keyed = nl.add_gate("keyed", GateKind::Xor, &[free, k]);
+        let deep = nl.add_gate("deep", GateKind::Or, &[keyed, a]);
+        nl.add_output("free", free);
+        nl.add_output("deep", deep);
+
+        let cone = KeyCone::of(&nl);
+        assert!(!cone.contains(a) && !cone.contains(free));
+        assert!(cone.contains(k) && cone.contains(keyed) && cone.contains(deep));
+        assert_eq!(cone.num_gates(), 2);
+        assert_eq!(cone.key_dependent_outputs(), &[1]);
+    }
+
+    #[test]
+    fn key_cone_encoding_matches_full_constant_folding() {
+        // Differential check on a mixed circuit: the cone-scoped encoder must
+        // produce signals with the same semantics as the whole-netlist fold,
+        // for every input pattern and key value.
+        let mut nl = Netlist::new("cone_diff");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let k0 = nl.add_key_input("k0");
+        let k1 = nl.add_key_input("k1");
+        let f1 = nl.add_gate("f1", GateKind::And, &[a, b]);
+        let f2 = nl.add_gate("f2", GateKind::Xor, &[f1, c]);
+        let g1 = nl.add_gate("g1", GateKind::Xor, &[f2, k0]);
+        let g2 = nl.add_gate("g2", GateKind::Nand, &[g1, k1, b]);
+        let g3 = nl.add_gate("g3", GateKind::Nor, &[g2, f1]);
+        nl.add_output("f2", f2);
+        nl.add_output("g3", g3);
+
+        let cone = KeyCone::of(&nl);
+        for input_pattern in 0..8u64 {
+            let input_bits = pattern_to_bits(input_pattern, 3);
+            let node_values = nl.node_values(&input_bits, &[false, false]).expect("sim");
+            for key_pattern in 0..4u64 {
+                let key_bits = pattern_to_bits(key_pattern, 2);
+                let expected = nl.evaluate(&input_bits, &key_bits);
+
+                let mut solver = Solver::new();
+                let keys: Vec<Lit> = (0..2).map(|_| Lit::positive(solver.new_var())).collect();
+                let outs = encode_key_cone(&nl, &mut solver, &cone, &node_values, &keys);
+                let assumptions: Vec<Lit> = keys
+                    .iter()
+                    .zip(&key_bits)
+                    .map(|(&l, &v)| if v { l } else { !l })
+                    .collect();
+                assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+                for (out, &want) in outs.iter().zip(&expected) {
+                    let got = match out {
+                        Signal::Const(v) => *v,
+                        Signal::Lit(l) => solver.value(*l).expect("assigned"),
+                    };
+                    assert_eq!(
+                        got, want,
+                        "inputs {input_pattern:03b} keys {key_pattern:02b}"
                     );
                 }
             }

@@ -50,7 +50,15 @@ pub use cnf::CnfFormula;
 pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
 pub use lbool::LBool;
 pub use lit::{Lit, Var};
-pub use solver::{FrameId, SolveResult, Solver, SolverStats};
+pub use solver::{FrameId, SolveResult, Solver, SolverConfig, SolverStats};
+
+// The parallel attack engine moves whole solvers across worker threads; every
+// field is owned data or an `Arc` of a `Sync` atomic, so `Solver` must stay
+// `Send`.  Compile-time proof:
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Solver>()
+};
 
 #[cfg(test)]
 mod tests {

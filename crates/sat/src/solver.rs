@@ -1,5 +1,8 @@
 //! The CDCL solver.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::clause::{Clause, ClauseDb, ClauseRef};
 use crate::heap::VarOrderHeap;
 use crate::luby::luby;
@@ -43,6 +46,81 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Number of `solve`/`solve_with` invocations.
     pub solves: u64,
+}
+
+/// Tunable search parameters of a [`Solver`].
+///
+/// The defaults reproduce the solver's historical behaviour; alternative
+/// configurations exist for *portfolio solving*, where several solver
+/// instances with deliberately diverse heuristics race on the same instance
+/// and the first winner is taken (see [`SolverConfig::portfolio`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// VSIDS variable-activity decay factor (0 < decay < 1).
+    pub var_decay: f64,
+    /// Learnt-clause activity decay factor (0 < decay < 1).
+    pub cla_decay: f64,
+    /// Base conflict budget of the Luby restart sequence.
+    pub restart_base: u64,
+    /// Initial saved phase of fresh variables (phase saving overwrites it as
+    /// the search proceeds).
+    pub default_phase: bool,
+    /// Probability of replacing an activity-driven branching decision with a
+    /// seeded pseudo-random one (0 disables random branching).
+    pub random_branch_freq: f64,
+    /// Seed of the xorshift generator behind random branching.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            var_decay: VAR_DECAY,
+            cla_decay: CLA_DECAY,
+            restart_base: RESTART_BASE,
+            default_phase: false,
+            random_branch_freq: 0.0,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A deterministic family of `n` deliberately diverse configurations for
+    /// portfolio solving.  Index 0 is always the default configuration; later
+    /// indices vary restart pacing, decay rates, initial phase and random
+    /// branching so the portfolio explores different parts of the search
+    /// space.
+    pub fn portfolio(n: usize) -> Vec<SolverConfig> {
+        (0..n)
+            .map(|i| {
+                let base = SolverConfig::default();
+                match i % 4 {
+                    0 => base,
+                    1 => SolverConfig {
+                        default_phase: true,
+                        restart_base: 50,
+                        ..base
+                    },
+                    2 => SolverConfig {
+                        var_decay: 0.85,
+                        restart_base: 200,
+                        random_branch_freq: 0.02,
+                        seed: base.seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                        ..base
+                    },
+                    _ => SolverConfig {
+                        var_decay: 0.99,
+                        cla_decay: 0.995,
+                        default_phase: true,
+                        random_branch_freq: 0.05,
+                        seed: base.seed ^ (i as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+                        ..base
+                    },
+                }
+            })
+            .collect()
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -99,6 +177,9 @@ pub struct Solver {
     stats: SolverStats,
     num_problem_clauses: usize,
     frames: Vec<Frame>,
+    config: SolverConfig,
+    rng_state: u64,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -108,6 +189,12 @@ const RESTART_BASE: u64 = 100;
 impl Solver {
     /// Creates an empty solver with no variables or clauses.
     pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver using the given search configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        let rng_state = config.seed | 1;
         Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
@@ -115,8 +202,32 @@ impl Solver {
             max_learnts: 1000.0,
             db: ClauseDb::new(),
             order: VarOrderHeap::new(),
+            config,
+            rng_state,
             ..Solver::default()
         }
+    }
+
+    /// The search configuration this solver was created with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Installs (or clears) a shared interrupt flag.
+    ///
+    /// While the flag reads `true`, any in-flight or future solve call
+    /// returns [`SolveResult::Unknown`] at its next check point.  This is the
+    /// cancellation mechanism of the parallel attack engine: one worker
+    /// confirming a key flips the flag and every other solver backs out
+    /// promptly, regardless of budgets.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// Creates a solver preloaded with all clauses of `cnf`.
@@ -136,7 +247,7 @@ impl Solver {
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.assigns.push(LBool::Undef);
-        self.phase.push(false);
+        self.phase.push(self.config.default_phase);
         self.reason.push(None);
         self.level.push(0);
         self.activity.push(0.0);
@@ -412,7 +523,7 @@ impl Solver {
 
         let mut restarts = 0u64;
         let result = loop {
-            let budget = RESTART_BASE * luby(restarts);
+            let budget = self.config.restart_base * luby(restarts);
             match self.search(budget) {
                 Some(result) => break result,
                 None => {
@@ -461,6 +572,9 @@ impl Solver {
     // ------------------------------------------------------------------
 
     fn budget_exhausted(&self) -> bool {
+        if self.interrupted() {
+            return true;
+        }
         if let Some(limit) = self.conflict_budget {
             if self.stats.conflicts - self.budget_conflicts_start >= limit {
                 return true;
@@ -641,8 +755,33 @@ impl Solver {
     }
 
     fn decay_activities(&mut self) {
-        self.var_inc /= VAR_DECAY;
-        self.cla_inc /= CLA_DECAY;
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.cla_decay;
+    }
+
+    /// xorshift64* step for random branching; deterministic per seed.
+    fn next_random(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Picks a random unassigned variable, if random branching is enabled and
+    /// the dice land that way.
+    fn pick_random_var(&mut self) -> Option<Var> {
+        if self.config.random_branch_freq <= 0.0 || self.num_vars == 0 {
+            return None;
+        }
+        let roll = (self.next_random() >> 11) as f64 / (1u64 << 53) as f64;
+        if roll >= self.config.random_branch_freq {
+            return None;
+        }
+        let index = (self.next_random() % self.num_vars as u64) as usize;
+        let var = Var::from_index(index);
+        (self.assigns[index] == LBool::Undef).then_some(var)
     }
 
     /// First-UIP conflict analysis.  Returns the learnt clause (asserting
@@ -810,6 +949,9 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                if self.stats.conflicts.is_multiple_of(128) && self.interrupted() {
+                    return Some(SolveResult::Unknown);
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return Some(SolveResult::Unsat);
@@ -851,7 +993,8 @@ impl Solver {
                 let decision = match next {
                     Some(lit) => Some(lit),
                     None => self
-                        .pick_branch_var()
+                        .pick_random_var()
+                        .or_else(|| self.pick_branch_var())
                         .map(|var| Lit::new(var, !self.phase[var.index()])),
                 };
                 match decision {
@@ -1146,6 +1289,64 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
         let _ = learnt_before; // retirement itself must not clear the database
         assert!(s.is_ok());
+    }
+
+    #[test]
+    fn portfolio_configs_are_diverse_and_all_correct() {
+        let configs = SolverConfig::portfolio(4);
+        assert_eq!(configs.len(), 4);
+        assert_eq!(configs[0], SolverConfig::default());
+        assert!(configs.iter().skip(1).any(|c| *c != configs[0]));
+        // Every configuration decides the same instances identically.
+        for config in configs {
+            let mut s = Solver::with_config(config.clone());
+            s.ensure_vars(3);
+            for c in [&[1, 2][..], &[-1, 3], &[-3, -2], &[2]] {
+                s.add_clause(lits(c));
+            }
+            assert_eq!(s.solve(), SolveResult::Sat, "{config:?}");
+            let mut u = Solver::with_config(config);
+            u.ensure_vars(2);
+            for c in [&[1][..], &[-1, 2], &[-2]] {
+                u.add_clause(lits(c));
+            }
+            assert_eq!(u.solve(), SolveResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn random_branching_stays_sound() {
+        let config = SolverConfig {
+            random_branch_freq: 0.5,
+            seed: 42,
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::with_config(config);
+        s.ensure_vars(6);
+        let v = |i: usize, j: usize| Lit::positive(Var::from_index(i * 2 + j));
+        for i in 0..3 {
+            s.add_clause([v(i, 0), v(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!v(i1, j), !v(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat, "pigeonhole stays unsat");
+    }
+
+    #[test]
+    fn preset_interrupt_returns_unknown_and_clears() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut s = solver_with(2, &[&[1, 2]]);
+        s.set_interrupt(Some(flag.clone()));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.set_interrupt(None);
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 
     #[test]
