@@ -50,4 +50,11 @@ fi
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# The frame-scoped-predicate correctness story: the differential + property
+# suites proving a recycled per-worker session is observationally equivalent
+# to a fresh session per region.  Part of the workspace run above; re-run
+# explicitly so a failure is attributed to the session-reuse machinery.
+echo "==> cargo test -q --test session_reuse --test parallel_engine"
+cargo test -q --test session_reuse --test parallel_engine
+
 echo "CI OK"

@@ -14,9 +14,11 @@
 //!
 //! Two classes of metric are reported:
 //!
-//! * deterministic counters (oracle queries, iterations, cone sizes) —
-//!   gated at the tolerance (default 20 %); any `*_s`/`*speedup*` metric
-//!   that does land in a baseline gets a 3x band;
+//! * deterministic counters (oracle queries, iterations, cone sizes, and the
+//!   per-worker `sessions_created`/`cone_encodings_built` counters of the
+//!   frame-scoped-predicate engine) — gated at the tolerance (default 20 %);
+//!   any `*_s`/`*speedup*` metric that does land in a baseline gets a 3x
+//!   band;
 //! * `info_*` metrics (absolute seconds, single-shot speedup ratios,
 //!   scheduler-dependent counts) — reported for humans and uploaded as a CI
 //!   artifact, but excluded from the baseline: neither absolute timings nor
@@ -40,6 +42,11 @@ use sat::SolverConfig;
 // so 4-worker cancellation speedups show up even on low-core CI machines,
 // and the whole smoke stays fast.
 const PARTITION_BITS: usize = 2;
+// The frame-scoped-predicate acceptance workload: 8 regions on 4 workers,
+// where per-worker session reuse (exactly 4 sessions / 4 full encodings, not
+// 8 of each) is measured by deterministic counters.
+const WIDE_PARTITION_BITS: usize = 3;
+const WIDE_WORKERS: usize = 4;
 
 struct Options {
     baseline: String,
@@ -121,9 +128,11 @@ fn measure() -> MetricReport {
             false,
         );
         if workers == 1 {
-            // One worker drains the region queue in exactly the serial
-            // order, so this counter is deterministic (and smaller than the
-            // serial count whenever the cache deduplicates across regions).
+            // One worker drains the region queue in the serial order on one
+            // long-lived session, so this counter is deterministic (and
+            // smaller than the serial count: the shared cache deduplicates
+            // across regions and carried-over learnt clauses prune the
+            // distinguishing-input search).
             report.record(
                 "parallel_1w_unique_oracle_queries",
                 parallel.oracle_queries as f64,
@@ -151,6 +160,39 @@ fn measure() -> MetricReport {
             );
         }
     }
+
+    // ---- Frame-scoped predicate reuse: 8 regions on 4 workers -------------
+    // Each worker keeps one long-lived session and rebinds ϕ per region, so
+    // sessions and full circuit encodings are counted per *worker*.  Both
+    // counters are deterministic by construction (workers create and prime
+    // their session at thread start, before touching the region queue).
+    let t = Instant::now();
+    let wide = parallel_partitioned_key_search(
+        locked,
+        &oracle,
+        WIDE_PARTITION_BITS,
+        WIDE_WORKERS,
+        &config,
+    );
+    report.record(
+        format!("info_partitioned_parallel_{WIDE_WORKERS}w_8regions_s"),
+        t.elapsed().as_secs_f64(),
+        false,
+    );
+    assert!(
+        wide.completed && wide.key.is_some(),
+        "8-region parallel search"
+    );
+    assert_eq!(
+        wide.sessions_created, WIDE_WORKERS,
+        "one session per worker"
+    );
+    report.record("sessions_created", wide.sessions_created as f64, false);
+    report.record(
+        "cone_encodings_built",
+        wide.cone_encodings_built as f64,
+        false,
+    );
 
     // ---- Solver portfolio on one SAT-attack instance ----------------------
     let pf_original = generate(&RandomCircuitSpec::new("smoke_pf", 12, 3, 120));

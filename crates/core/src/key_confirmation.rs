@@ -150,6 +150,17 @@ where
 /// `Q` with it activated and `K1` assumed equal to the candidate.  Learnt
 /// clauses from either query speed up the other; per-iteration I/O pairs are
 /// constant-folded so only the key cone is encoded.
+///
+/// ϕ and the I/O pairs observed during this run live in a *predicate
+/// generation* ([`AttackSession::begin_predicate`]) that is retired before
+/// returning, so the same session can run any number of confirmations — the
+/// parallel engine's workers confirm one key-space region after another on
+/// one long-lived session this way, keeping their circuit encodings and
+/// frame-independent learnt clauses throughout.
+///
+/// # Panics
+///
+/// Panics if a predicate generation is already active on `session`.
 pub fn key_confirmation_with_predicate_in<F>(
     session: &mut AttackSession<'_>,
     oracle: &dyn Oracle,
@@ -164,12 +175,25 @@ where
         session.netlist().num_inputs(),
         "oracle width does not match the locked circuit"
     );
+    // The clock covers the whole run — including the circuit encoding a
+    // fresh session performs in begin_predicate and the ϕ encoding — so the
+    // time limit and the reported elapsed keep their pre-generation meaning.
     let start = Instant::now();
     session.set_conflict_budget(config.conflict_budget);
+    let _phi_keys = session.begin_predicate();
+    session.add_predicate_clauses(add_phi);
+    let result = confirmation_loop(session, oracle, config, start);
+    session.retire_predicate();
+    result
+}
 
-    let phi_keys = session.predicate_keys();
-    add_phi(session.solver_mut(), &phi_keys);
-
+/// The P/Q loop of Algorithm 4, run inside an already-open generation.
+fn confirmation_loop(
+    session: &mut AttackSession<'_>,
+    oracle: &dyn Oracle,
+    config: &KeyConfirmationConfig,
+    start: Instant,
+) -> KeyConfirmationResult {
     let mut iterations = 0usize;
     let mut oracle_queries = 0usize;
     let unfinished =

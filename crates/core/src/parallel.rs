@@ -5,10 +5,12 @@
 //! the key space trivially partitionable: fixing the first `p` key bits
 //! yields `2^p` *independent* regions, each a self-contained confirmation
 //! problem.  This module dispatches those regions to a fixed pool of worker
-//! threads; every region runs in its own [`sat::Solver`]-backed
-//! [`AttackSession`] (a session carries exactly one confirmation predicate,
-//! so regions cannot yet share one — see ROADMAP for frame-scoped
-//! predicates):
+//! threads; every **worker** owns one long-lived [`sat::Solver`]-backed
+//! [`AttackSession`] for its whole lifetime — each region binds ϕ in a
+//! retireable predicate generation ([`AttackSession::begin_predicate`]) that
+//! is retired when the region concludes, so the circuit encodings and the
+//! frame-independent learnt clauses carry over from region to region instead
+//! of being rebuilt `2^p` times:
 //!
 //! * **Work queue, not static chunking** — regions are pulled from a shared
 //!   atomic counter, so a worker that drew an easy (quickly-UNSAT) region
@@ -167,19 +169,35 @@ pub struct ParallelSearchResult {
     pub regions_searched: usize,
     /// Worker threads used.
     pub workers: usize,
+    /// [`AttackSession`]s created over the whole run: one per worker (not one
+    /// per region — regions reuse their worker's session via predicate
+    /// generations).
+    pub sessions_created: usize,
+    /// Full circuit encodings built across all sessions: one per worker
+    /// (each worker primes its session once at thread start), however many
+    /// regions it went on to search.
+    pub cone_encodings_built: usize,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
 
 /// Parallel version of [`crate::key_confirmation::partitioned_key_search`]:
 /// the `2^partition_bits` key-space regions are pulled from a shared work
-/// queue by `workers` threads, each running key confirmation in its own
-/// [`AttackSession`], with a shared deduplicating oracle cache and
-/// first-winner cancellation.
+/// queue by `workers` threads, each running key confirmation on **one
+/// long-lived [`AttackSession`] per worker** (ϕ is bound and retired per
+/// region via predicate generations), with a shared deduplicating oracle
+/// cache and first-winner cancellation.
+///
+/// Each worker primes its session (full circuit encoding, key-cone sweep) at
+/// thread start, so the run performs exactly `workers` session creations and
+/// full encodings — deterministically, whatever the scheduler does — instead
+/// of one per region.  A region whose constraints turn out contradictory
+/// poisons only its own generation; the worker retires it and takes the next
+/// region.
 ///
 /// `partition_bits` is clamped to the key width; ≥ 64 effective bits returns
 /// `completed: false` immediately (see the serial version for why).  One
-/// worker behaves exactly like the serial search modulo region ordering.
+/// worker drains the queue in the serial region order on a single session.
 pub fn parallel_partitioned_key_search(
     locked: &Netlist,
     oracle: &(dyn Oracle + Sync),
@@ -198,6 +216,8 @@ pub fn parallel_partitioned_key_search(
         cache_hits: 0,
         regions_searched: 0,
         workers,
+        sessions_created: 0,
+        cone_encodings_built: 0,
         elapsed: start.elapsed(),
     };
     if partition_bits >= u64::BITS as usize {
@@ -212,45 +232,59 @@ pub fn parallel_partitioned_key_search(
     let exhausted_budget = AtomicBool::new(false);
     let iterations = AtomicUsize::new(0);
     let regions_searched = AtomicUsize::new(0);
+    let sessions_created = AtomicUsize::new(0);
+    let cone_encodings_built = AtomicUsize::new(0);
 
     thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                if cancel.is_cancelled() {
-                    break;
-                }
-                let region = next_region.fetch_add(1, Ordering::Relaxed);
-                if region >= num_regions {
-                    break;
-                }
-                regions_searched.fetch_add(1, Ordering::Relaxed);
-
+            scope.spawn(|| {
+                // One session for this worker's whole lifetime, primed before
+                // the first region so the encoding counters are deterministic.
+                sessions_created.fetch_add(1, Ordering::Relaxed);
                 let mut session = AttackSession::new(locked);
                 session.set_interrupt(Some(cancel.as_flag()));
-                let result =
-                    key_confirmation_with_predicate_in(&mut session, &cache, config, |s, keys| {
-                        for (bit, &lit) in keys.iter().enumerate().take(partition_bits) {
-                            let value = (region >> bit) & 1 == 1;
-                            s.add_clause([if value { lit } else { !lit }]);
-                        }
-                    });
-                iterations.fetch_add(result.iterations, Ordering::Relaxed);
-
-                if let Some(key) = result.key {
-                    *winner.lock().expect("winner lock poisoned") = Some(key);
-                    cancel.cancel();
-                    break;
-                }
-                if !result.completed {
-                    // Distinguish "another worker won and interrupted us"
-                    // from a genuine budget exhaustion, which — mirroring the
-                    // serial search — aborts the whole run.
-                    if !cancel.is_cancelled() {
-                        exhausted_budget.store(true, Ordering::SeqCst);
-                        cancel.cancel();
+                session.prime();
+                loop {
+                    if cancel.is_cancelled() {
+                        break;
                     }
-                    break;
+                    let region = next_region.fetch_add(1, Ordering::Relaxed);
+                    if region >= num_regions {
+                        break;
+                    }
+                    regions_searched.fetch_add(1, Ordering::Relaxed);
+
+                    let result = key_confirmation_with_predicate_in(
+                        &mut session,
+                        &cache,
+                        config,
+                        |s, keys| {
+                            for (bit, &lit) in keys.iter().enumerate().take(partition_bits) {
+                                let value = (region >> bit) & 1 == 1;
+                                s.add_clause([if value { lit } else { !lit }]);
+                            }
+                        },
+                    );
+                    iterations.fetch_add(result.iterations, Ordering::Relaxed);
+
+                    if let Some(key) = result.key {
+                        *winner.lock().expect("winner lock poisoned") = Some(key);
+                        cancel.cancel();
+                        break;
+                    }
+                    if !result.completed {
+                        // Distinguish "another worker won and interrupted us"
+                        // from a genuine budget exhaustion, which — mirroring
+                        // the serial search — aborts the whole run.
+                        if !cancel.is_cancelled() {
+                            exhausted_budget.store(true, Ordering::SeqCst);
+                            cancel.cancel();
+                        }
+                        break;
+                    }
                 }
+                cone_encodings_built
+                    .fetch_add(session.cone_encodings_built() as usize, Ordering::Relaxed);
             });
         }
     });
@@ -267,6 +301,8 @@ pub fn parallel_partitioned_key_search(
         cache_hits: cache.hits(),
         regions_searched: searched,
         workers,
+        sessions_created: sessions_created.load(Ordering::Relaxed),
+        cone_encodings_built: cone_encodings_built.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
     }
 }
@@ -426,6 +462,14 @@ mod tests {
             );
             assert_eq!(parallel.workers, workers);
             assert!(parallel.regions_searched as u64 <= 4);
+            assert_eq!(
+                parallel.sessions_created, workers,
+                "one session per worker, not per region"
+            );
+            assert_eq!(
+                parallel.cone_encodings_built, workers,
+                "each worker encodes the circuit exactly once"
+            );
         }
     }
 

@@ -24,6 +24,17 @@
 //!   "count = k" literals serve every Hamming-distance query.  All analysis
 //!   queries are pure assumption queries: after the shared structure exists,
 //!   a cofactor or HD-pair check adds no clauses at all.
+//! * **Predicate generations** — a key-confirmation predicate ϕ and the I/O
+//!   constraints observed while it is live are scoped to a retireable
+//!   *generation* ([`AttackSession::begin_predicate`] /
+//!   [`AttackSession::retire_predicate`]).  Retiring a generation detaches ϕ
+//!   and its I/O pairs while the circuit encodings, the `Kϕ` literal pool and
+//!   every frame-independent learnt clause stay: one long-lived session can
+//!   confirm an unbounded sequence of predicates — this is what lets the
+//!   parallel engine keep **one session per worker** instead of one per
+//!   key-space region.  A contradictory generation (an I/O pair no key can
+//!   reproduce) poisons only its own frames, so a worker that draws an
+//!   impossible region survives to take the next one.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicBool;
@@ -48,7 +59,7 @@ pub enum KeyVector {
     /// The second key copy `K2` of the two-copy DIP formula.
     B,
     /// The standalone predicate key vector used by key confirmation
-    /// (created on first use by [`AttackSession::predicate_keys`]).
+    /// (created by [`AttackSession::begin_predicate`]).
     Predicate,
 }
 
@@ -68,7 +79,24 @@ struct DipParts {
     /// "candidate contradicts old observations" into a spurious Unsat, i.e.
     /// a wrong key reported as confirmed.
     io_a_frame: FrameId,
-    phi_keys: Option<Vec<Lit>>,
+}
+
+/// One predicate generation: the retireable scope of a confirmation run.
+///
+/// Everything a key-confirmation run adds — ϕ itself and the I/O-pair
+/// constraints observed while the generation is live — lands in one of these
+/// two frames, so [`AttackSession::retire_predicate`] detaches the whole run
+/// in O(1) and [`sat::Solver::simplify`] reclaims the clauses, while the
+/// permanent machinery (circuit copies, `Kϕ` pool, cone encodings, popcount,
+/// miters) and every frame-independent learnt clause survive into the next
+/// generation.
+struct PredicateGeneration {
+    /// Scope of ϕ plus the `K2`/`Kϕ` I/O constraints of this generation.
+    phi_frame: FrameId,
+    /// Scope of the `K1` I/O constraints of this generation (kept separate
+    /// from `phi_frame` for the same reason [`DipParts::io_a_frame`] exists:
+    /// the `Q` query must leave `K1`'s I/O history dormant).
+    io_a_frame: FrameId,
 }
 
 /// Dual cone-analysis input spaces with shared difference/popcount networks.
@@ -102,6 +130,15 @@ pub struct AttackSession<'n> {
     /// reused by every later [`AttackSession::constrain_key_with_io`] /
     /// [`AttackSession::force_dip`] call.
     key_cone: Option<KeyCone>,
+    /// The active predicate generation, if any.
+    generation: Option<PredicateGeneration>,
+    /// The `Kϕ` literal pool, allocated by the first generation and reused by
+    /// every later one (all constraints on it are generation-scoped, so the
+    /// variables are clean again after each retirement).
+    phi_key_pool: Option<Vec<Lit>>,
+    /// Number of full circuit encodings this session has built (the two-copy
+    /// DIP formula and the dual cone input spaces count one each).
+    full_encodings: u64,
     clauses_at_last_simplify: usize,
 }
 
@@ -122,8 +159,33 @@ impl<'n> AttackSession<'n> {
             dip: None,
             cones: None,
             key_cone: None,
+            generation: None,
+            phi_key_pool: None,
+            full_encodings: 0,
             clauses_at_last_simplify: 0,
         }
+    }
+
+    /// Eagerly builds the session's permanent DIP machinery: the two-copy
+    /// circuit encoding and the key-dependent node set.
+    ///
+    /// Everything is built lazily on first use anyway; priming exists so a
+    /// worker can pay the one-off encoding cost at a deterministic point
+    /// (thread start) before pulling work from a queue — which also makes the
+    /// [`AttackSession::cone_encodings_built`] counter deterministic for the
+    /// benchmark-regression gate.
+    pub fn prime(&mut self) {
+        self.ensure_dip();
+        if self.key_cone.is_none() {
+            self.key_cone = Some(KeyCone::of(self.netlist));
+        }
+    }
+
+    /// Number of full circuit encodings this session has performed: at most
+    /// one two-copy DIP encoding plus one dual cone-space encoding per
+    /// session, however many queries or predicate generations ran through it.
+    pub fn cone_encodings_built(&self) -> u64 {
+        self.full_encodings
     }
 
     /// Installs (or clears) a shared interrupt flag on the underlying solver.
@@ -153,8 +215,14 @@ impl<'n> AttackSession<'n> {
     }
 
     /// Direct access to the underlying solver, for callers that add their own
-    /// clauses (e.g. the key-confirmation predicate ϕ).  Clauses must only be
-    /// added between queries (at decision level 0).
+    /// **permanent** clauses.  Clauses must only be added between queries (at
+    /// decision level 0).
+    ///
+    /// Do *not* add a key-confirmation predicate ϕ this way: clauses added
+    /// through the raw solver bypass the generation's frame routing, survive
+    /// [`AttackSession::retire_predicate`], and would silently conjoin with
+    /// every later generation's ϕ.  Use
+    /// [`AttackSession::add_predicate_clauses`] for anything predicate-scoped.
     pub fn solver_mut(&mut self) -> &mut Solver {
         &mut self.solver
     }
@@ -172,6 +240,7 @@ impl<'n> AttackSession<'n> {
         if self.dip.is_some() {
             return;
         }
+        self.full_encodings += 1;
         let copy_a: CircuitCopy = instantiate(self.netlist, &mut self.solver);
         let copy_b = instantiate_sharing_inputs(self.netlist, &mut self.solver, &copy_a.inputs);
         let diff = encode_any_difference(&mut self.solver, &copy_a.outputs, &copy_b.outputs);
@@ -185,7 +254,6 @@ impl<'n> AttackSession<'n> {
             diff_lit: diff,
             diff_frame,
             io_a_frame,
-            phi_keys: None,
         });
     }
 
@@ -209,59 +277,130 @@ impl<'n> AttackSession<'n> {
         self.dip.as_ref().expect("just ensured").key_a.clone()
     }
 
-    /// Creates the standalone predicate key vector `Kϕ`.
+    /// Opens a predicate generation and returns the `Kϕ` key vector it
+    /// constrains.
     ///
-    /// Key confirmation constrains this vector with ϕ and the observed I/O
-    /// pairs; it is not tied to either DIP circuit copy.  Because ϕ and its
-    /// I/O constraints are permanent clauses, a session supports **one**
-    /// predicate: a second confirmation run would silently conjoin both
-    /// predicates and could reject a shortlist containing the correct key,
-    /// so creating a second vector panics instead — start a fresh
-    /// [`AttackSession`] per confirmation run.
+    /// Key confirmation constrains `Kϕ` with ϕ and the observed I/O pairs;
+    /// it is not tied to either DIP circuit copy.  Everything the generation
+    /// adds — ϕ clauses ([`AttackSession::add_predicate_clauses`]) and I/O
+    /// constraints ([`AttackSession::constrain_key_with_io`], on *any* key
+    /// vector) — is scoped to the generation's frames and detached by
+    /// [`AttackSession::retire_predicate`], after which the session is clean
+    /// for the next predicate.  The `Kϕ` literals themselves are allocated
+    /// once and reused by every generation.
+    ///
+    /// A session supports one predicate *at a time*: two live predicates
+    /// would silently conjoin and could reject a shortlist containing the
+    /// correct key.
     ///
     /// # Panics
     ///
-    /// Panics if a predicate vector already exists on this session.
-    pub fn predicate_keys(&mut self) -> Vec<Lit> {
+    /// Panics if a generation is already active (retire it first).
+    pub fn begin_predicate(&mut self) -> Vec<Lit> {
         self.ensure_dip();
-        let num_keys = self.netlist.num_key_inputs();
-        let solver = &mut self.solver;
-        let dip = self.dip.as_mut().expect("just ensured");
         assert!(
-            dip.phi_keys.is_none(),
-            "a session supports one key-confirmation predicate; \
-             use a fresh AttackSession per confirmation run"
+            self.generation.is_none(),
+            "a session supports one active key-confirmation predicate; \
+             call retire_predicate() before beginning the next one"
         );
-        let keys: Vec<Lit> = (0..num_keys)
-            .map(|_| Lit::positive(solver.new_var()))
-            .collect();
-        dip.phi_keys = Some(keys.clone());
-        keys
+        if self.phi_key_pool.is_none() {
+            let keys: Vec<Lit> = (0..self.netlist.num_key_inputs())
+                .map(|_| Lit::positive(self.solver.new_var()))
+                .collect();
+            self.phi_key_pool = Some(keys);
+        }
+        let phi_frame = self.solver.push_frame();
+        let io_a_frame = self.solver.push_frame();
+        self.generation = Some(PredicateGeneration {
+            phi_frame,
+            io_a_frame,
+        });
+        self.phi_key_pool.clone().expect("just ensured")
+    }
+
+    /// Concludes the active predicate generation: retires its frames,
+    /// reclaims the clause database, and leaves the session ready for the
+    /// next [`AttackSession::begin_predicate`].
+    ///
+    /// This also recovers from a *poisoned* generation (one whose I/O pairs
+    /// no key can reproduce): the contradiction lives in the retired frames,
+    /// so the session stays satisfiable — a parallel worker that drew a
+    /// contradictory region survives to take the next one.
+    ///
+    /// A no-op when no generation is active.
+    pub fn retire_predicate(&mut self) {
+        if let Some(generation) = self.generation.take() {
+            self.solver.retire_frame(generation.phi_frame);
+            self.solver.retire_frame(generation.io_a_frame);
+            self.solver.simplify();
+            self.clauses_at_last_simplify = self.solver.num_clauses();
+        }
+    }
+
+    /// Returns `true` while a predicate generation is active.
+    pub fn has_active_predicate(&self) -> bool {
+        self.generation.is_some()
+    }
+
+    /// Adds ϕ clauses scoped to the active generation.
+    ///
+    /// The closure receives the solver with the generation's ϕ frame
+    /// installed as the default clause frame, plus the `Kϕ` literals — so
+    /// predicate builders written against the plain [`Solver::add_clause`]
+    /// API (shortlist encodings, region pinnings) are scoped without knowing
+    /// about frames.  Auxiliary variables the closure allocates remain valid
+    /// but unconstrained after retirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no generation is active.
+    pub fn add_predicate_clauses<F>(&mut self, add_phi: F)
+    where
+        F: FnOnce(&mut Solver, &[Lit]),
+    {
+        let frame = self
+            .generation
+            .as_ref()
+            .expect("begin_predicate() must be called first")
+            .phi_frame;
+        let keys = self.phi_key_pool.clone().expect("pool exists");
+        self.solver.set_default_frame(Some(frame));
+        add_phi(&mut self.solver, &keys);
+        self.solver.set_default_frame(None);
     }
 
     fn phi_keys(&self) -> Vec<Lit> {
-        self.dip
-            .as_ref()
-            .and_then(|dip| dip.phi_keys.clone())
-            .expect("predicate_keys() must be called first")
+        assert!(
+            self.generation.is_some(),
+            "begin_predicate() must be called first"
+        );
+        self.phi_key_pool.clone().expect("pool exists")
     }
 
     /// Searches for a distinguishing input: shared inputs `X`, two free key
-    /// copies, outputs forced to differ.
+    /// copies, outputs forced to differ.  An active predicate generation's
+    /// constraints (ϕ and its I/O pairs) participate in the search.
     pub fn find_dip(&mut self) -> SolveResult {
         self.ensure_dip();
         let diff = self.diff_frame();
         let io_a = self.dip.as_ref().expect("just ensured").io_a_frame;
-        self.solver.solve_in(&[diff, io_a], &[])
+        let mut frames = vec![diff, io_a];
+        if let Some(generation) = &self.generation {
+            frames.push(generation.io_a_frame);
+            frames.push(generation.phi_frame);
+        }
+        self.solver.solve_in(&frames, &[])
     }
 
     /// Searches for a distinguishing input with `K1` pinned to a candidate
     /// key (the key-confirmation `Q` query).
     ///
-    /// Any I/O constraints a previous SAT-attack run placed on `K1` stay
-    /// dormant here: the candidate must be judged purely against the other
-    /// key copy's consistency with the observed pairs, otherwise a candidate
+    /// Any I/O constraints placed on `K1` — by a previous SAT-attack run or
+    /// during the current predicate generation — stay dormant here: the
+    /// candidate must be judged purely against the other key copy's
+    /// consistency with the observed pairs, otherwise a candidate
     /// contradicting `K1`'s old observations would be spuriously "confirmed".
+    /// The generation's `K2`/`Kϕ` constraints *are* active.
     ///
     /// # Panics
     ///
@@ -271,7 +410,11 @@ impl<'n> AttackSession<'n> {
         let diff = self.diff_frame();
         let key_a = self.dip.as_ref().expect("just ensured").key_a.clone();
         let assumptions = assumptions_for(&key_a, candidate.bits());
-        self.solver.solve_in(&[diff], &assumptions)
+        let mut frames = vec![diff];
+        if let Some(generation) = &self.generation {
+            frames.push(generation.phi_frame);
+        }
+        self.solver.solve_in(&frames, &assumptions)
     }
 
     /// The distinguishing input found by the last successful
@@ -299,8 +442,15 @@ impl<'n> AttackSession<'n> {
     }
 
     /// Adds the observed I/O pair `C(x̂, K, ŷ)` as a constraint on one key
-    /// vector — permanent for `K2` and `Kϕ`, scoped to the `K1` I/O frame
-    /// for `K1` (see [`AttackSession::find_dip_against`] for why).
+    /// vector.
+    ///
+    /// Scoping: while a predicate generation is active, the constraint —
+    /// including its cone encoding — lands in the generation's frames
+    /// (`K1` in the generation's I/O frame, `K2`/`Kϕ` in the ϕ frame) and is
+    /// detached by [`AttackSession::retire_predicate`].  Outside a
+    /// generation, `K1` constraints are scoped to the session's `K1` I/O
+    /// frame (see [`AttackSession::find_dip_against`] for why) and `K2`
+    /// constraints are permanent; `Kϕ` requires an active generation.
     ///
     /// Only the session's precomputed key-dependent cone is encoded
     /// ([`netlist::cnf::encode_key_cone`]); every key-free wire is read from
@@ -308,7 +458,8 @@ impl<'n> AttackSession<'n> {
     /// over the whole netlist.  If an output bit is key-independent and
     /// contradicts the observation, the constrained formula becomes
     /// unsatisfiable (the locked circuit cannot produce the observed
-    /// behaviour under any key).
+    /// behaviour under any key) — within a generation the contradiction is
+    /// confined to the generation's frame.
     pub fn constrain_key_with_io(&mut self, which: KeyVector, inputs: &[bool], outputs: &[bool]) {
         let node_values = self.simulate_key_free(inputs);
         self.constrain_key_with_io_presimulated(which, &node_values, outputs);
@@ -325,38 +476,47 @@ impl<'n> AttackSession<'n> {
         outputs: &[bool],
     ) {
         self.ensure_dip();
-        let dip = self.dip.as_mut().expect("just ensured");
+        let dip = self.dip.as_ref().expect("just ensured");
         let (keys, frame) = match which {
-            KeyVector::A => (dip.key_a.clone(), Some(dip.io_a_frame)),
-            KeyVector::B => (dip.key_b.clone(), None),
-            KeyVector::Predicate => (
-                dip.phi_keys
-                    .clone()
-                    .expect("predicate_keys() must be called first"),
-                None,
+            KeyVector::A => (
+                dip.key_a.clone(),
+                Some(match &self.generation {
+                    Some(generation) => generation.io_a_frame,
+                    None => dip.io_a_frame,
+                }),
             ),
+            KeyVector::B => (
+                dip.key_b.clone(),
+                self.generation.as_ref().map(|g| g.phi_frame),
+            ),
+            KeyVector::Predicate => (self.phi_keys(), {
+                let generation = self
+                    .generation
+                    .as_ref()
+                    .expect("begin_predicate() must be called first");
+                Some(generation.phi_frame)
+            }),
         };
         let cone = self.key_cone.as_ref().expect("ensured by caller");
+        // Route the whole encoding — Tseitin definitions and forcing units —
+        // into the chosen frame, so retirement reclaims all of it.  An
+        // impossible observation becomes the frame-scoped empty clause,
+        // poisoning the frame instead of the solver.
+        self.solver.set_default_frame(frame);
         let signals = encode_key_cone(self.netlist, &mut self.solver, cone, node_values, &keys);
         assert_eq!(signals.len(), outputs.len(), "output width mismatch");
-        let force = |solver: &mut Solver, lit: Lit| match frame {
-            Some(frame) => solver.add_clause_in(frame, [lit]),
-            None => solver.add_clause([lit]),
-        };
         for (signal, &want) in signals.iter().zip(outputs) {
             match signal {
                 Signal::Const(have) if *have == want => {}
                 Signal::Const(_) => {
                     // No key can reproduce the observation.
-                    match frame {
-                        Some(frame) => self.solver.add_clause_in(frame, []),
-                        None => self.solver.add_clause([]),
-                    }
-                    return;
+                    self.solver.add_clause([]);
+                    break;
                 }
-                Signal::Lit(l) => force(&mut self.solver, if want { *l } else { !*l }),
+                Signal::Lit(l) => self.solver.add_clause([if want { *l } else { !*l }]),
             }
         }
+        self.solver.set_default_frame(None);
     }
 
     /// Classic SAT-attack bookkeeping: constrains both DIP key copies with
@@ -369,15 +529,21 @@ impl<'n> AttackSession<'n> {
         self.maybe_simplify();
     }
 
-    /// Solves the predicate formula (difference constraint dormant) and
-    /// returns a candidate key from the `Kϕ` model.
+    /// Solves the predicate formula (difference constraint and `K1` I/O
+    /// history dormant, generation's ϕ and I/O pairs active) and returns a
+    /// candidate key from the `Kϕ` model.
     ///
     /// # Panics
     ///
-    /// Panics if [`AttackSession::predicate_keys`] has not been called.
+    /// Panics if no predicate generation is active.
     pub fn candidate_key(&mut self) -> (SolveResult, Option<Key>) {
         let phi = self.phi_keys();
-        let result = self.solver.solve();
+        let phi_frame = self
+            .generation
+            .as_ref()
+            .expect("checked by phi_keys")
+            .phi_frame;
+        let result = self.solver.solve_in(&[phi_frame], &[]);
         let key = (result == SolveResult::Sat).then(|| model_key(&self.solver, &phi));
         (result, key)
     }
@@ -399,7 +565,12 @@ impl<'n> AttackSession<'n> {
             self.solver.retire_frame(frame);
             self.solver.simplify();
         }
-        let result = self.solver.solve_in(&[io_a], &[]);
+        let mut frames = vec![io_a];
+        if let Some(generation) = &self.generation {
+            frames.push(generation.io_a_frame);
+            frames.push(generation.phi_frame);
+        }
+        let result = self.solver.solve_in(&frames, &[]);
         let key = (result == SolveResult::Sat).then(|| model_key(&self.solver, &key_a));
         (result, key)
     }
@@ -420,6 +591,7 @@ impl<'n> AttackSession<'n> {
         if self.cones.is_some() {
             return;
         }
+        self.full_encodings += 1;
         let enc1 = IncrementalEncoder::new(self.netlist, &mut self.solver, &PinBinding::default());
         // The second input space is fresh; the key space is shared with the
         // first copy (analysis candidates never depend on key inputs, but a
@@ -666,13 +838,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one key-confirmation predicate")]
-    fn second_predicate_on_one_session_is_rejected() {
+    #[should_panic(expected = "retire_predicate")]
+    fn overlapping_predicate_generations_are_rejected() {
         let original = generate(&RandomCircuitSpec::new("sess_phi", 6, 2, 40));
         let locked = XorLock::new(4).with_seed(7).lock(&original).expect("lock");
         let mut session = AttackSession::new(&locked.locked);
-        let _first = session.predicate_keys();
-        let _second = session.predicate_keys();
+        let _first = session.begin_predicate();
+        let _second = session.begin_predicate();
+    }
+
+    #[test]
+    fn retired_generations_rebind_and_reuse_the_phi_pool() {
+        let original = generate(&RandomCircuitSpec::new("sess_gen", 6, 2, 40));
+        let locked = XorLock::new(4).with_seed(7).lock(&original).expect("lock");
+        let mut session = AttackSession::new(&locked.locked);
+
+        let first = session.begin_predicate();
+        assert!(session.has_active_predicate());
+        session.retire_predicate();
+        assert!(!session.has_active_predicate());
+        let second = session.begin_predicate();
+        assert_eq!(first, second, "the Kϕ literal pool is reused");
+        // Retiring twice is a no-op.
+        session.retire_predicate();
+        session.retire_predicate();
+        // Generations never re-encode the circuit.
+        assert_eq!(session.cone_encodings_built(), 1);
+    }
+
+    #[test]
+    fn contradictory_predicate_generations_alternate_with_clean_ones() {
+        // A pinned predicate that contradicts ϕ-frame I/O pairs must make the
+        // candidate query Unsat for this generation only.
+        let original = generate(&RandomCircuitSpec::new("sess_pin", 6, 2, 40));
+        let locked = XorLock::new(4).with_seed(9).lock(&original).expect("lock");
+        let mut session = AttackSession::new(&locked.locked);
+
+        for round in 0..3 {
+            // Contradictory generation: Kϕ[0] pinned both ways.
+            let keys = session.begin_predicate();
+            let k0 = keys[0];
+            session.add_predicate_clauses(|solver, _| {
+                solver.add_clause([k0]);
+                solver.add_clause([!k0]);
+            });
+            let (result, key) = session.candidate_key();
+            assert_eq!(result, SolveResult::Unsat, "round {round}");
+            assert!(key.is_none());
+            session.retire_predicate();
+
+            // Clean generation on the same session: satisfiable again.
+            let keys = session.begin_predicate();
+            let k0 = keys[0];
+            session.add_predicate_clauses(|solver, _| solver.add_clause([k0]));
+            let (result, key) = session.candidate_key();
+            assert_eq!(result, SolveResult::Sat, "round {round}");
+            assert!(key.expect("sat carries a key").bits()[0]);
+            session.retire_predicate();
+        }
     }
 
     #[test]
@@ -690,6 +913,45 @@ mod tests {
         let (result, key) = session.extract_key();
         assert_eq!(result, SolveResult::Unsat);
         assert!(key.is_none());
+    }
+
+    #[test]
+    fn retiring_a_poisoned_generation_unpoisons_the_session() {
+        // Regression for the parallel engine's worker reuse: a generation
+        // whose I/O pair is impossible (key-independent contradiction) must
+        // poison only its own frames — after retire_predicate the same
+        // session must serve further generations and DIP queries.
+        let mut nl = netlist::Netlist::new("const_out_gen");
+        let a = nl.add_input("a");
+        let k = nl.add_key_input("k");
+        let g = nl.add_gate("g", GateKind::Buf, &[a]);
+        let keyed = nl.add_gate("keyed", GateKind::Xor, &[a, k]);
+        nl.add_output("g", g);
+        nl.add_output("keyed", keyed);
+
+        let mut session = AttackSession::new(&nl);
+        let _phi = session.begin_predicate();
+        // Output "g" ignores the key; claiming g(0) == 1 is impossible.
+        session.constrain_key_with_io(KeyVector::Predicate, &[false], &[true, false]);
+        let (result, key) = session.candidate_key();
+        assert_eq!(result, SolveResult::Unsat, "poisoned generation is ⊥");
+        assert!(key.is_none());
+        session.retire_predicate();
+
+        // The session survives: a clean generation with a possible pair
+        // confirms a candidate, and the DIP machinery still works.
+        let _phi = session.begin_predicate();
+        session.constrain_key_with_io(KeyVector::Predicate, &[false], &[false, true]);
+        let (result, key) = session.candidate_key();
+        assert_eq!(result, SolveResult::Sat, "session must recover");
+        let key = key.expect("sat carries a key");
+        assert_eq!(key.bits(), &[true], "keyed(0) == 1 forces k == 1");
+        session.retire_predicate();
+        assert_eq!(
+            session.find_dip(),
+            SolveResult::Sat,
+            "the xor output still distinguishes the two key copies"
+        );
     }
 
     #[test]

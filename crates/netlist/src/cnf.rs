@@ -167,10 +167,20 @@ impl IncrementalEncoder {
 
     /// Ensures the transitive fanin cone of `root` is encoded and returns the
     /// root's literal.  Nodes already encoded by earlier calls are reused.
+    ///
+    /// The emitted defining clauses always live at the solver root, even when
+    /// a default frame ([`sat::Solver::set_default_frame`]) is active: the
+    /// encoder memoizes literals across calls and hands them out long after
+    /// any frame-scoped caller has retired its frame, so scoping the
+    /// definitions to a retireable frame would leave cached literals dangling
+    /// once the frame's clauses are reclaimed.  This is what keeps the
+    /// encoder's variable space reusable across predicate generations.
     pub fn encode_cone(&mut self, netlist: &Netlist, solver: &mut Solver, root: NodeId) -> Lit {
         if let Some(lit) = self.node_lits[root.index()] {
             return lit;
         }
+        let caller_frame = solver.default_frame();
+        solver.set_default_frame(None);
         // Collect the not-yet-encoded part of the cone; node ids are
         // topologically ordered (fanins precede gates), so encoding the
         // missing nodes in ascending index order is a valid schedule.
@@ -204,6 +214,7 @@ impl IncrementalEncoder {
             let lit = encode_gate(solver, *kind, &fanin_lits, &mut self.const_false);
             self.node_lits[id.index()] = Some(lit);
         }
+        solver.set_default_frame(caller_frame);
         self.node_lits[root.index()].expect("root was just encoded")
     }
 
@@ -332,6 +343,13 @@ impl KeyCone {
 /// Produces exactly the same output [`Signal`]s as the full constant-folding
 /// walk, but touches `O(|key cone|)` nodes instead of `O(|netlist|)`.
 ///
+/// Unlike [`IncrementalEncoder::encode_cone`], this encoder memoizes nothing
+/// across calls, so its clauses *do* respect an active default frame
+/// ([`sat::Solver::set_default_frame`]): an attack session routes a predicate
+/// generation's I/O-pair encodings into a retireable frame this way, and the
+/// whole encoding — Tseitin definitions included — is reclaimed when the
+/// generation retires.
+///
 /// # Panics
 ///
 /// Panics if `keys` or `node_values` have the wrong width.
@@ -389,6 +407,8 @@ pub fn encode_key_cone(
 ///
 /// [`encode_key_cone`] is the faster path used by long-running sessions: it
 /// walks a precomputed key-dependent cone instead of the whole netlist.
+/// Like it, this encoder respects an active default frame (see there), so
+/// per-generation constraints can be routed into a retireable frame.
 ///
 /// Returns one [`Signal`] per declared output, in declaration order.
 ///
@@ -887,6 +907,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn incremental_encoder_pins_memoized_encodings_to_the_root() {
+        // A caller routing clauses into a retireable frame (the predicate
+        // generation of an attack session) must not capture the encoder's
+        // memoized definitions: those are handed out again after the frame is
+        // retired, so they have to survive frame reclamation.
+        let mut nl = Netlist::new("root_pin");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate("g", GateKind::And, &[a, b]);
+        let c1 = nl.add_gate("c1", GateKind::Const1, &[]);
+        let h = nl.add_gate("h", GateKind::Xor, &[g, c1]);
+        nl.add_output("h", h);
+
+        let mut solver = Solver::new();
+        let mut enc = IncrementalEncoder::new(&nl, &mut solver, &PinBinding::default());
+        let frame = solver.push_frame();
+        solver.set_default_frame(Some(frame));
+        let lit = enc.encode_cone(&nl, &mut solver, h);
+        // The default frame is restored for the caller...
+        assert_eq!(solver.default_frame(), Some(frame));
+        solver.set_default_frame(None);
+        // ...and the encoding stays correct after the frame is retired and
+        // its clauses reclaimed.
+        solver.retire_frame(frame);
+        solver.simplify();
+        for pattern in 0..4u64 {
+            let bits = pattern_to_bits(pattern, 2);
+            let expected = nl.evaluate(&bits, &[])[0];
+            let assumptions: Vec<Lit> = enc
+                .inputs()
+                .iter()
+                .zip(&bits)
+                .map(|(&l, &v)| if v { l } else { !l })
+                .collect();
+            assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+            assert_eq!(solver.value(lit), Some(expected), "pattern {pattern:02b}");
+        }
+    }
+
+    #[test]
+    fn key_cone_encoding_respects_the_default_frame() {
+        // Frame-routed I/O-pair encodings must vanish with their frame: the
+        // same key literal can be forced to opposite values in two different
+        // generations without ever contradicting itself.
+        let mut nl = Netlist::new("framed_io");
+        let a = nl.add_input("a");
+        let k = nl.add_key_input("k");
+        let y = nl.add_gate("y", GateKind::Xor, &[a, k]);
+        nl.add_output("y", y);
+        let cone = KeyCone::of(&nl);
+
+        let mut solver = Solver::new();
+        let key = Lit::positive(solver.new_var());
+        let node_values = nl.node_values(&[true], &[false]).expect("sim");
+
+        let forced_under = |solver: &mut Solver, want: bool| {
+            let frame = solver.push_frame();
+            solver.set_default_frame(Some(frame));
+            let outs = encode_key_cone(&nl, solver, &cone, &node_values, &[key]);
+            let Signal::Lit(out) = outs[0] else {
+                panic!("output depends on the key");
+            };
+            solver.add_clause([if want { out } else { !out }]);
+            solver.set_default_frame(None);
+            frame
+        };
+        // Generation 1 claims y(a=1) == 1, i.e. k == 0.
+        let f1 = forced_under(&mut solver, true);
+        assert_eq!(solver.solve_in(&[f1], &[]), SolveResult::Sat);
+        assert_eq!(solver.value(key), Some(false));
+        solver.retire_frame(f1);
+        solver.simplify();
+        // Generation 2 claims the opposite; without frame scoping the two
+        // would conjoin into Unsat.
+        let f2 = forced_under(&mut solver, false);
+        assert_eq!(solver.solve_in(&[f2], &[]), SolveResult::Sat);
+        assert_eq!(solver.value(key), Some(true));
     }
 
     #[test]

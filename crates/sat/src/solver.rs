@@ -177,6 +177,7 @@ pub struct Solver {
     stats: SolverStats,
     num_problem_clauses: usize,
     frames: Vec<Frame>,
+    default_frame: Option<FrameId>,
     config: SolverConfig,
     rng_state: u64,
     interrupt: Option<Arc<AtomicBool>>,
@@ -297,12 +298,27 @@ impl Solver {
     /// Adds a clause over already-created variables.
     ///
     /// Duplicate literals are removed and tautological clauses are ignored.
-    /// Adding the empty clause makes the solver permanently unsatisfiable.
+    /// Adding the empty clause makes the solver permanently unsatisfiable —
+    /// unless a default frame is active ([`Solver::set_default_frame`]), in
+    /// which case the clause is scoped to that frame and an empty clause only
+    /// poisons the frame (its activation becomes unsatisfiable) while the
+    /// solver itself stays usable.
     ///
     /// # Panics
     ///
     /// Panics if a literal references a variable that was never created.
     pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        match self.default_frame {
+            Some(frame) => self.add_clause_in(frame, lits),
+            None => self.add_clause_root(lits),
+        }
+    }
+
+    /// Adds a clause at the root, ignoring any active default frame.
+    fn add_clause_root<I>(&mut self, lits: I)
     where
         I: IntoIterator<Item = Lit>,
     {
@@ -402,7 +418,7 @@ impl Solver {
     }
 
     /// Adds a clause scoped to `frame`: it is enforced only while the frame
-    /// is activated.
+    /// is activated.  The explicit frame wins over any active default frame.
     ///
     /// # Panics
     ///
@@ -414,7 +430,32 @@ impl Solver {
     {
         let activation = self.frame_lit(frame);
         let clause: Vec<Lit> = lits.into_iter().chain([!activation]).collect();
-        self.add_clause(clause);
+        self.add_clause_root(clause);
+    }
+
+    /// Routes every following plain [`Solver::add_clause`] call into `frame`
+    /// (or back to the root for `None`).
+    ///
+    /// This is how whole encoding passes — code that was written against the
+    /// plain `add_clause` API and knows nothing about frames — are scoped to
+    /// a retireable frame without threading a frame parameter through every
+    /// helper.  Explicit [`Solver::add_clause_in`] calls are unaffected, and
+    /// [`Solver::retire_frame`] on the default frame clears the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame has been retired.
+    pub fn set_default_frame(&mut self, frame: Option<FrameId>) {
+        if let Some(f) = frame {
+            // `frame_lit` asserts the frame is still live.
+            let _ = self.frame_lit(f);
+        }
+        self.default_frame = frame;
+    }
+
+    /// The frame plain [`Solver::add_clause`] calls currently route into.
+    pub fn default_frame(&self) -> Option<FrameId> {
+        self.default_frame
     }
 
     /// Permanently disables all clauses of `frame` (logical deletion).
@@ -433,7 +474,10 @@ impl Solver {
         }
         f.retired = true;
         let lit = f.lit;
-        self.add_clause([!lit]);
+        if self.default_frame == Some(frame) {
+            self.default_frame = None;
+        }
+        self.add_clause_root([!lit]);
     }
 
     /// Decides satisfiability with the given frames activated, under extra
@@ -1289,6 +1333,136 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
         let _ = learnt_before; // retirement itself must not clear the database
         assert!(s.is_ok());
+    }
+
+    #[test]
+    fn default_frame_scopes_plain_add_clause() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        let frame = s.push_frame();
+        s.set_default_frame(Some(frame));
+        assert_eq!(s.default_frame(), Some(frame));
+        // Routed through the default frame: contradicts (a | b) only when the
+        // frame is activated.
+        s.add_clause([Lit::negative(a)]);
+        s.add_clause([Lit::negative(b)]);
+        s.set_default_frame(None);
+        assert_eq!(s.default_frame(), None);
+        s.add_clause([Lit::positive(a)]); // back at the root: permanent
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(a)), Some(true));
+        assert_eq!(s.solve_in(&[frame], &[]), SolveResult::Unsat);
+        s.retire_frame(frame);
+        s.simplify();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(a)), Some(true));
+    }
+
+    #[test]
+    fn explicit_frame_wins_over_default_frame() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let f1 = s.push_frame();
+        let f2 = s.push_frame();
+        s.set_default_frame(Some(f1));
+        // Explicitly scoped to f2 despite the f1 default.
+        s.add_clause_in(f2, [Lit::negative(a)]);
+        s.set_default_frame(None);
+        s.add_clause([Lit::positive(a)]);
+        assert_eq!(s.solve_in(&[f1], &[]), SolveResult::Sat);
+        assert_eq!(s.solve_in(&[f2], &[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_in_default_frame_poisons_only_the_frame() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a)]);
+        let frame = s.push_frame();
+        s.set_default_frame(Some(frame));
+        s.add_clause([]);
+        s.set_default_frame(None);
+        assert!(s.is_ok(), "the empty clause must stay scoped to the frame");
+        assert_eq!(s.solve_in(&[frame], &[]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // The frame stays dead even after retirement and reclamation, and the
+        // solver keeps working.
+        s.retire_frame(frame);
+        s.simplify();
+        assert!(s.is_ok());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(a)), Some(true));
+    }
+
+    #[test]
+    fn retiring_the_default_frame_clears_the_default() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let frame = s.push_frame();
+        s.set_default_frame(Some(frame));
+        s.retire_frame(frame);
+        assert_eq!(s.default_frame(), None);
+        // Plain clauses are permanent again.
+        s.add_clause([Lit::positive(a)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(a)), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "retired")]
+    fn default_frame_on_a_retired_frame_panics() {
+        let mut s = Solver::new();
+        let frame = s.push_frame();
+        s.retire_frame(frame);
+        s.set_default_frame(Some(frame));
+    }
+
+    #[test]
+    fn frame_generations_preserve_level0_facts_across_retirement() {
+        // Simulates the attack-session lifecycle: permanent structure, learnt
+        // level-0 facts, then repeated "generations" of frame-scoped
+        // constraints that are retired and reclaimed.  The facts and the
+        // permanent clauses must survive every cycle.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        // (a | b) & (a | !b) forces a; the solver discovers it as a learnt
+        // level-0 fact on the first solve.
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        s.add_clause([Lit::positive(a), Lit::negative(b)]);
+        s.add_clause([Lit::negative(a), Lit::positive(c)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(a)), Some(true));
+        assert_eq!(s.value(Lit::positive(c)), Some(true));
+
+        for generation in 0..4 {
+            let frame = s.push_frame();
+            s.set_default_frame(Some(frame));
+            // A contradictory generation: !c clashes with the permanent
+            // consequence c.
+            s.add_clause([Lit::negative(c)]);
+            s.set_default_frame(None);
+            assert_eq!(
+                s.solve_in(&[frame], &[]),
+                SolveResult::Unsat,
+                "generation {generation}"
+            );
+            let clauses_before = s.num_clauses();
+            s.retire_frame(frame);
+            s.simplify();
+            assert!(
+                s.num_clauses() <= clauses_before,
+                "generation {generation}: simplify must not grow the database"
+            );
+            // Level-0 facts and permanent clauses are intact.
+            assert!(s.is_ok(), "generation {generation}");
+            assert_eq!(s.solve(), SolveResult::Sat, "generation {generation}");
+            assert_eq!(s.value(Lit::positive(a)), Some(true));
+            assert_eq!(s.value(Lit::positive(c)), Some(true));
+        }
     }
 
     #[test]

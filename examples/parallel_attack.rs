@@ -54,11 +54,13 @@ fn main() {
         let elapsed = t.elapsed();
         println!(
             "parallel search, {workers} worker(s): key {:?}, {} unique / {} cached queries, \
-             {} regions, {elapsed:.2?} ({:.2}x vs serial)",
+             {} regions on {} session(s) ({} full encodings), {elapsed:.2?} ({:.2}x vs serial)",
             parallel.key.as_ref().map(|k| k.to_string()),
             parallel.oracle_queries,
             parallel.cache_hits,
             parallel.regions_searched,
+            parallel.sessions_created,
+            parallel.cone_encodings_built,
             serial_elapsed.as_secs_f64() / elapsed.as_secs_f64(),
         );
     }

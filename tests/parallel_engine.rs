@@ -123,6 +123,78 @@ fn caching_oracle_bounds_real_oracle_traffic() {
     assert_eq!(counting.queries(), cache.unique_queries());
 }
 
+/// Frame-scoped predicates end to end: workers keep one long-lived session
+/// across regions, and the result must match the per-region-session baseline
+/// (the serial search builds a fresh session per region) — identical keys
+/// for 1..=4 workers, the oracle-access discipline intact, and exactly one
+/// session plus one full circuit encoding per *worker*, not per region.
+#[test]
+fn long_lived_worker_sessions_match_per_region_baseline() {
+    // 3 partition bits → 8 regions, so every worker count stays below the
+    // region count and the sessions-per-worker claim is meaningful.  The
+    // seed is chosen so the correct key sits in the *last* region: every
+    // region is searched, which makes the serial query count the worst case
+    // the oracle-access discipline is measured against (same construction as
+    // `parallel_search_does_not_exceed_serial_oracle_queries`).
+    let partition_bits = 3;
+    let num_regions = 1usize << partition_bits;
+    let original = generate(&RandomCircuitSpec::new("pe_frames", 9, 2, 60));
+    let locked = (0..64u64)
+        .map(|seed| {
+            SfllHd::new(6, 0)
+                .with_seed(seed)
+                .lock(&original)
+                .expect("lock")
+                .optimized()
+        })
+        .find(|locked| locked.key.bits()[..partition_bits].iter().all(|&bit| bit))
+        .expect("some seed puts the key in the last region");
+    let oracle = SimOracle::new(original.clone());
+    let config = KeyConfirmationConfig::default();
+
+    let serial = partitioned_key_search(&locked.locked, &oracle, partition_bits, &config);
+    assert!(serial.completed, "per-region baseline must finish");
+    let serial_key = serial.key.expect("baseline recovers a key");
+    let serial_unlocked = apply_key(&locked.locked, &serial_key);
+    assert!(equivalent_to(&serial_unlocked, &original, 512, 7));
+
+    for workers in 1..=4 {
+        let parallel = parallel_partitioned_key_search(
+            &locked.locked,
+            &oracle,
+            partition_bits,
+            workers,
+            &config,
+        );
+        assert!(parallel.completed, "{workers} workers must finish");
+        let key = parallel.key.expect("long-lived sessions recover a key");
+        let unlocked = apply_key(&locked.locked, &key);
+        assert!(
+            equivalent_to(&unlocked, &serial_unlocked, 512, 7),
+            "{workers}-worker key must unlock to the same function as the \
+             per-region baseline"
+        );
+        assert!(
+            parallel.oracle_queries <= serial.oracle_queries + workers,
+            "{workers} workers: {} unique queries > per-region baseline {} + {workers}",
+            parallel.oracle_queries,
+            serial.oracle_queries,
+        );
+        assert_eq!(
+            parallel.sessions_created, workers,
+            "sessions are per worker, not per region"
+        );
+        assert!(
+            parallel.sessions_created < num_regions,
+            "{workers} workers must not build one session per region"
+        );
+        assert_eq!(
+            parallel.cone_encodings_built, workers,
+            "each worker encodes the circuit exactly once for all its regions"
+        );
+    }
+}
+
 /// The portfolio recovers a key functionally equivalent to the single-config
 /// SAT attack's.
 #[test]
