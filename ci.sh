@@ -57,4 +57,11 @@ cargo test -q --workspace
 echo "==> cargo test -q --test session_reuse --test parallel_engine"
 cargo test -q --test session_reuse --test parallel_engine
 
+# The clause-arena correctness story: GC forced at every conflict must be
+# status-identical to GC disabled, and 100 retired predicate generations must
+# hold variable count and arena bytes flat.  Also part of the workspace run;
+# re-run explicitly so a failure is attributed to the arena/GC machinery.
+echo "==> cargo test -q --test gc_differential"
+cargo test -q --test gc_differential
+
 echo "CI OK"

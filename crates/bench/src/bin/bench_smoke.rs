@@ -14,11 +14,13 @@
 //!
 //! Two classes of metric are reported:
 //!
-//! * deterministic counters (oracle queries, iterations, cone sizes, and the
+//! * deterministic counters (oracle queries, iterations, cone sizes, the
 //!   per-worker `sessions_created`/`cone_encodings_built` counters of the
-//!   frame-scoped-predicate engine) — gated at the tolerance (default 20 %);
-//!   any `*_s`/`*speedup*` metric that does land in a baseline gets a 3x
-//!   band;
+//!   frame-scoped-predicate engine, and the clause-arena memory counters —
+//!   `*_arena_bytes`/`*_gc_runs`/`*_recycled_vars` from the single-threaded
+//!   workloads, including the 100-generation long-lived-session run) — gated
+//!   at the tolerance (default 20 %); any `*_s`/`*speedup*` metric that does
+//!   land in a baseline gets a 3x band;
 //! * `info_*` metrics (absolute seconds, single-shot speedup ratios,
 //!   scheduler-dependent counts) — reported for humans and uploaded as a CI
 //!   artifact, but excluded from the baseline: neither absolute timings nor
@@ -28,10 +30,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use fall::key_confirmation::{partitioned_key_search, KeyConfirmationConfig};
+use fall::key_confirmation::{key_confirmation_in, partitioned_key_search, KeyConfirmationConfig};
 use fall::oracle::SimOracle;
 use fall::parallel::{parallel_partitioned_key_search, portfolio_sat_attack};
 use fall::sat_attack::{sat_attack, SatAttackConfig};
+use fall::session::AttackSession;
 use fall_bench::{HdPolicy, LockCase, MetricReport, Scale, TABLE1_CIRCUITS};
 use locking::{LockingScheme, XorLock};
 use netlist::cnf::KeyCone;
@@ -138,6 +141,20 @@ fn measure() -> MetricReport {
                 parallel.oracle_queries as f64,
                 false,
             );
+            // Single-threaded, so the solver's memory counters are
+            // deterministic too: the arena footprint after draining every
+            // region, and how much the GC + variable recycling reclaimed.
+            report.record(
+                "parallel_1w_arena_bytes",
+                parallel.peak_arena_bytes as f64,
+                false,
+            );
+            report.record("parallel_1w_gc_runs", parallel.gc_runs as f64, false);
+            report.record(
+                "parallel_1w_recycled_vars",
+                parallel.recycled_vars as f64,
+                false,
+            );
         } else {
             // Single-shot wall-clock ratio: scheduler jitter and per-machine
             // core counts make this unsuitable for a required gate, so it is
@@ -191,6 +208,67 @@ fn measure() -> MetricReport {
     report.record(
         "cone_encodings_built",
         wide.cone_encodings_built as f64,
+        false,
+    );
+
+    // ---- Long-lived session: bounded memory across 100 generations --------
+    // One AttackSession runs 100 whole key-confirmation runs back to back
+    // (alternating confirming and rejecting shortlists).  The flat clause
+    // arena plus variable recycling must hold the variable count exactly
+    // flat after warm-up and keep the arena bounded; all four counters are
+    // deterministic (single-threaded) and baseline-tracked.
+    let ll_original = generate(&RandomCircuitSpec::new("smoke_longlived", 8, 2, 50));
+    let ll_locked = XorLock::new(5)
+        .with_seed(4)
+        .lock(&ll_original)
+        .expect("lock");
+    let ll_oracle = SimOracle::new(ll_original);
+    let mut ll_session = AttackSession::new(&ll_locked.locked);
+    const LL_WARMUP: usize = 10;
+    const LL_GENERATIONS: usize = 100;
+    let mut ll_warm_vars = 0usize;
+    let mut ll_warm_arena = 0u64;
+    let t = Instant::now();
+    for generation in 0..LL_GENERATIONS {
+        let shortlist = if generation % 2 == 0 {
+            vec![ll_locked.key.clone(), ll_locked.key.complement()]
+        } else {
+            vec![ll_locked.key.complement()]
+        };
+        let result = key_confirmation_in(&mut ll_session, &ll_oracle, &shortlist, &config);
+        assert!(
+            result.completed && result.key.is_some() == (generation % 2 == 0),
+            "long-lived generation {generation}"
+        );
+        if generation + 1 == LL_WARMUP {
+            ll_warm_vars = ll_session.num_vars();
+            ll_warm_arena = ll_session.stats().arena_bytes;
+        }
+    }
+    report.record("info_longlived_100gen_s", t.elapsed().as_secs_f64(), false);
+    let ll_stats = ll_session.stats();
+    assert_eq!(
+        ll_session.num_vars(),
+        ll_warm_vars,
+        "variable count must be flat after warm-up \
+         (generation N + 1 reuses generation N's recycled variables)"
+    );
+    assert!(
+        ll_stats.arena_bytes <= ll_warm_arena * 2,
+        "the clause arena must stay flat after warm-up: {ll_warm_arena} bytes \
+         at generation {LL_WARMUP}, {} at generation {LL_GENERATIONS}",
+        ll_stats.arena_bytes
+    );
+    report.record("longlived_100gen_vars", ll_session.num_vars() as f64, false);
+    report.record(
+        "longlived_100gen_arena_bytes",
+        ll_stats.arena_bytes as f64,
+        false,
+    );
+    report.record("longlived_100gen_gc_runs", ll_stats.gc_runs as f64, false);
+    report.record(
+        "longlived_100gen_recycled_vars",
+        ll_stats.recycled_vars as f64,
         false,
     );
 

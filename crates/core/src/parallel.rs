@@ -177,6 +177,17 @@ pub struct ParallelSearchResult {
     /// (each worker primes its session once at thread start), however many
     /// regions it went on to search.
     pub cone_encodings_built: usize,
+    /// Clause-arena garbage collections summed across all worker solvers.
+    pub gc_runs: u64,
+    /// Per-generation Tseitin variables recycled, summed across all workers:
+    /// the counter that keeps a long-lived worker's variable space bounded
+    /// however many regions it searches.
+    pub recycled_vars: u64,
+    /// Largest end-of-run clause-arena size across the workers, in bytes.
+    pub peak_arena_bytes: u64,
+    /// Largest end-of-run wasted (tombstoned, not yet collected) byte count
+    /// across the workers.
+    pub peak_wasted_bytes: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -218,6 +229,10 @@ pub fn parallel_partitioned_key_search(
         workers,
         sessions_created: 0,
         cone_encodings_built: 0,
+        gc_runs: 0,
+        recycled_vars: 0,
+        peak_arena_bytes: 0,
+        peak_wasted_bytes: 0,
         elapsed: start.elapsed(),
     };
     if partition_bits >= u64::BITS as usize {
@@ -234,6 +249,10 @@ pub fn parallel_partitioned_key_search(
     let regions_searched = AtomicUsize::new(0);
     let sessions_created = AtomicUsize::new(0);
     let cone_encodings_built = AtomicUsize::new(0);
+    let gc_runs = AtomicU64::new(0);
+    let recycled_vars = AtomicU64::new(0);
+    let peak_arena_bytes = AtomicU64::new(0);
+    let peak_wasted_bytes = AtomicU64::new(0);
 
     thread::scope(|scope| {
         for _ in 0..workers {
@@ -285,6 +304,11 @@ pub fn parallel_partitioned_key_search(
                 }
                 cone_encodings_built
                     .fetch_add(session.cone_encodings_built() as usize, Ordering::Relaxed);
+                let stats = session.stats();
+                gc_runs.fetch_add(stats.gc_runs, Ordering::Relaxed);
+                recycled_vars.fetch_add(stats.recycled_vars, Ordering::Relaxed);
+                peak_arena_bytes.fetch_max(stats.arena_bytes, Ordering::Relaxed);
+                peak_wasted_bytes.fetch_max(stats.wasted_bytes, Ordering::Relaxed);
             });
         }
     });
@@ -303,6 +327,10 @@ pub fn parallel_partitioned_key_search(
         workers,
         sessions_created: sessions_created.load(Ordering::Relaxed),
         cone_encodings_built: cone_encodings_built.load(Ordering::Relaxed),
+        gc_runs: gc_runs.load(Ordering::Relaxed),
+        recycled_vars: recycled_vars.load(Ordering::Relaxed),
+        peak_arena_bytes: peak_arena_bytes.load(Ordering::Relaxed),
+        peak_wasted_bytes: peak_wasted_bytes.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
     }
 }
@@ -469,6 +497,14 @@ mod tests {
             assert_eq!(
                 parallel.cone_encodings_built, workers,
                 "each worker encodes the circuit exactly once"
+            );
+            assert!(
+                parallel.peak_arena_bytes > 0,
+                "{workers} workers: arena footprint is reported"
+            );
+            assert!(
+                parallel.recycled_vars > 0,
+                "{workers} workers: retired generations recycle their variables"
             );
         }
     }

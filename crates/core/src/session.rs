@@ -204,9 +204,19 @@ impl<'n> AttackSession<'n> {
         self.netlist
     }
 
-    /// Work counters of the underlying solver.
+    /// Work counters of the underlying solver, including the clause-arena
+    /// footprint (`arena_bytes`/`wasted_bytes`/`gc_runs`) and the number of
+    /// per-generation Tseitin variables reclaimed so far (`recycled_vars`).
     pub fn stats(&self) -> SolverStats {
         self.solver.stats()
+    }
+
+    /// Number of solver variables this session has allocated.  Bounded across
+    /// predicate generations: retirement releases a generation's Tseitin
+    /// variables back to the solver's free list, so generation `n + 1` reuses
+    /// the variables of generation `n` instead of growing the space.
+    pub fn num_vars(&self) -> usize {
+        self.solver.num_vars()
     }
 
     /// Forwards to [`Solver::set_conflict_budget`].
@@ -319,8 +329,12 @@ impl<'n> AttackSession<'n> {
     }
 
     /// Concludes the active predicate generation: retires its frames,
-    /// reclaims the clause database, and leaves the session ready for the
-    /// next [`AttackSession::begin_predicate`].
+    /// reclaims the clause database — the retired frames' clauses become
+    /// arena tombstones and a garbage collection compacts them away once
+    /// enough bytes are wasted — recycles the generation's Tseitin variables
+    /// (every variable allocated while a generation frame was the default
+    /// clause frame returns to the solver's free list), and leaves the
+    /// session ready for the next [`AttackSession::begin_predicate`].
     ///
     /// This also recovers from a *poisoned* generation (one whose I/O pairs
     /// no key can reproduce): the contradiction lives in the retired frames,
@@ -348,8 +362,11 @@ impl<'n> AttackSession<'n> {
     /// installed as the default clause frame, plus the `Kϕ` literals — so
     /// predicate builders written against the plain [`Solver::add_clause`]
     /// API (shortlist encodings, region pinnings) are scoped without knowing
-    /// about frames.  Auxiliary variables the closure allocates remain valid
-    /// but unconstrained after retirement.
+    /// about frames.  Auxiliary variables the closure allocates (shortlist
+    /// selectors and the like) are tagged to the ϕ frame and *recycled* when
+    /// the generation retires — do not hold on to them across
+    /// [`AttackSession::retire_predicate`]: a later generation's encoding may
+    /// reuse the same variable index.
     ///
     /// # Panics
     ///

@@ -348,7 +348,11 @@ impl KeyCone {
 /// ([`sat::Solver::set_default_frame`]): an attack session routes a predicate
 /// generation's I/O-pair encodings into a retireable frame this way, and the
 /// whole encoding — Tseitin definitions included — is reclaimed when the
-/// generation retires.
+/// generation retires.  The Tseitin *variables* come back too: variables
+/// allocated while a default frame is active are tagged to the frame, and
+/// retiring it releases them into the solver's recycling free list
+/// ([`sat::Solver::release_var`]), so unbounded sequences of frame-scoped
+/// cone encodings reuse one generation's worth of variables.
 ///
 /// # Panics
 ///
@@ -987,6 +991,62 @@ mod tests {
         let f2 = forced_under(&mut solver, false);
         assert_eq!(solver.solve_in(&[f2], &[]), SolveResult::Sat);
         assert_eq!(solver.value(key), Some(true));
+    }
+
+    #[test]
+    fn framed_key_cone_encodings_recycle_their_tseitin_variables() {
+        // The bounded-memory contract of the attack session's DIP loop: the
+        // Tseitin variables of a frame-routed key-cone encoding are released
+        // when the frame retires, so repeated generations hold the solver's
+        // variable count flat instead of growing by one cone per generation.
+        let mut nl = Netlist::new("recycle");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k0 = nl.add_key_input("k0");
+        let k1 = nl.add_key_input("k1");
+        let x = nl.add_gate("x", GateKind::Xor, &[a, k0]);
+        let y = nl.add_gate("y", GateKind::Nand, &[x, b, k1]);
+        let z = nl.add_gate("z", GateKind::Xnor, &[y, k0]);
+        nl.add_output("z", z);
+        let cone = KeyCone::of(&nl);
+
+        let mut solver = Solver::new();
+        let keys: Vec<Lit> = (0..2).map(|_| Lit::positive(solver.new_var())).collect();
+        let node_values = nl
+            .node_values(&[true, false], &[false, false])
+            .expect("sim");
+
+        let mut steady_state_vars = None;
+        for generation in 0..5 {
+            let frame = solver.push_frame();
+            solver.set_default_frame(Some(frame));
+            let outs = encode_key_cone(&nl, &mut solver, &cone, &node_values, &keys);
+            let Signal::Lit(out) = outs[0] else {
+                panic!("output depends on the key");
+            };
+            solver.add_clause([out]);
+            solver.set_default_frame(None);
+            assert_eq!(
+                solver.solve_in(&[frame], &[]),
+                SolveResult::Sat,
+                "generation {generation}"
+            );
+            solver.retire_frame(frame);
+            solver.simplify();
+            match steady_state_vars {
+                None => steady_state_vars = Some(solver.num_vars()),
+                Some(expected) => assert_eq!(
+                    solver.num_vars(),
+                    expected,
+                    "generation {generation}: later generations reuse the \
+                     recycled variables of the first"
+                ),
+            }
+        }
+        assert!(
+            solver.free_var_count() > 0,
+            "retired encodings leave variables in the free list"
+        );
     }
 
     #[test]

@@ -1,8 +1,23 @@
-//! Clause storage for the CDCL solver.
+//! Clause storage for the CDCL solver: a flat `u32` arena.
+//!
+//! Clauses live back to back in one contiguous `Vec<u32>`: a three-word
+//! header (flags + length, LBD, activity) followed by the literals.  A
+//! [`ClauseRef`] is the word offset of the header, so dereferencing a clause
+//! is one bounds-checked slice index instead of a pointer chase into a
+//! per-clause heap allocation — the layout MiniSat-lineage solvers use to
+//! keep `propagate`/`analyze` cache-friendly.
+//!
+//! Deletion tombstones the header and counts the clause's words as *wasted*;
+//! [`ClauseDb::collect_garbage`] compacts all live clauses into a fresh arena
+//! and leaves forwarding pointers behind (in the old arena, returned as a
+//! [`GcMap`]) so the solver can remap watch lists and reason references.
 
 use crate::Lit;
 
-/// Index of a clause inside the [`ClauseDb`].
+/// Word offset of a clause header inside the [`ClauseDb`] arena.
+///
+/// Stable until the next [`ClauseDb::collect_garbage`] call, which hands the
+/// holder a [`GcMap`] to translate old offsets into new ones.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub(crate) struct ClauseRef(pub(crate) u32);
 
@@ -12,39 +27,32 @@ impl ClauseRef {
     }
 }
 
-/// A single clause plus solver metadata.
-#[derive(Clone, Debug)]
-pub(crate) struct Clause {
-    pub(crate) lits: Vec<Lit>,
-    pub(crate) learnt: bool,
-    pub(crate) deleted: bool,
-    pub(crate) activity: f64,
-    /// Literal block distance computed when the clause was learnt.
-    pub(crate) lbd: u32,
-}
+/// Words of metadata preceding the literals of every clause.
+const HEADER_WORDS: usize = 3;
+/// Header word 0 flag: the clause is learnt.
+const FLAG_LEARNT: u32 = 1 << 31;
+/// Header word 0 flag: the clause is deleted (tombstone).
+const FLAG_DELETED: u32 = 1 << 30;
+/// Header word 0 flag: the clause was moved by GC; word 1 of the *old* arena
+/// holds the new offset.
+const FLAG_RELOCATED: u32 = 1 << 29;
+/// Low bits of header word 0: the number of literals.
+const LEN_MASK: u32 = FLAG_RELOCATED - 1;
 
-impl Clause {
-    pub(crate) fn new(lits: Vec<Lit>, learnt: bool) -> Clause {
-        Clause {
-            lits,
-            learnt,
-            deleted: false,
-            activity: 0.0,
-            lbd: 0,
-        }
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.lits.len()
-    }
-}
-
-/// Arena of clauses.  Deleted clauses are tombstoned so that `ClauseRef`s stay
-/// stable; the watch lists drop references lazily.
+/// Arena of clauses.  Deleted clauses are tombstoned (their words counted as
+/// wasted) so that outstanding [`ClauseRef`]s stay valid until the next
+/// [`ClauseDb::collect_garbage`]; the watch lists drop stale references
+/// lazily.
 #[derive(Debug, Default)]
 pub(crate) struct ClauseDb {
-    clauses: Vec<Clause>,
+    arena: Vec<u32>,
+    /// Offsets of clauses that have not been garbage-collected away.  May
+    /// contain tombstoned entries between [`ClauseDb::compact_live`] calls;
+    /// iteration filters them.
+    live: Vec<ClauseRef>,
     num_learnt: usize,
+    /// Words occupied by tombstoned clauses, reclaimed by the next GC.
+    wasted: usize,
 }
 
 impl ClauseDb {
@@ -52,32 +60,82 @@ impl ClauseDb {
         ClauseDb::default()
     }
 
-    pub(crate) fn push(&mut self, clause: Clause) -> ClauseRef {
-        if clause.learnt {
+    /// Appends a clause to the arena and returns its offset.
+    pub(crate) fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() as u32 <= LEN_MASK, "clause too long for arena");
+        let cref = ClauseRef(self.arena.len() as u32);
+        let flags = if learnt { FLAG_LEARNT } else { 0 };
+        self.arena.reserve(HEADER_WORDS + lits.len());
+        self.arena.push(flags | lits.len() as u32);
+        self.arena.push(0); // LBD
+        self.arena.push(0.0f32.to_bits()); // activity
+        self.arena.extend(lits.iter().map(|l| l.code() as u32));
+        self.live.push(cref);
+        if learnt {
             self.num_learnt += 1;
         }
-        let idx = self.clauses.len() as u32;
-        self.clauses.push(clause);
-        ClauseRef(idx)
+        cref
     }
 
-    pub(crate) fn get(&self, cref: ClauseRef) -> &Clause {
-        &self.clauses[cref.index()]
+    pub(crate) fn len(&self, cref: ClauseRef) -> usize {
+        (self.arena[cref.index()] & LEN_MASK) as usize
     }
 
-    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
-        &mut self.clauses[cref.index()]
+    pub(crate) fn is_learnt(&self, cref: ClauseRef) -> bool {
+        self.arena[cref.index()] & FLAG_LEARNT != 0
     }
 
+    pub(crate) fn is_deleted(&self, cref: ClauseRef) -> bool {
+        self.arena[cref.index()] & FLAG_DELETED != 0
+    }
+
+    pub(crate) fn lit(&self, cref: ClauseRef, position: usize) -> Lit {
+        debug_assert!(position < self.len(cref));
+        Lit::from_code(self.arena[cref.index() + HEADER_WORDS + position] as usize)
+    }
+
+    /// The literals of a clause, as a slice straight into the arena.
+    pub(crate) fn lits(&self, cref: ClauseRef) -> &[Lit] {
+        let start = cref.index() + HEADER_WORDS;
+        let words = &self.arena[start..start + self.len(cref)];
+        // SAFETY: `Lit` is `#[repr(transparent)]` over `u32`, and every
+        // literal word was stored through `Lit::code` in `alloc`, so the
+        // layouts are identical.
+        unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<Lit>(), words.len()) }
+    }
+
+    pub(crate) fn swap_lits(&mut self, cref: ClauseRef, a: usize, b: usize) {
+        debug_assert!(a < self.len(cref) && b < self.len(cref));
+        let base = cref.index() + HEADER_WORDS;
+        self.arena.swap(base + a, base + b);
+    }
+
+    pub(crate) fn lbd(&self, cref: ClauseRef) -> u32 {
+        self.arena[cref.index() + 1]
+    }
+
+    pub(crate) fn set_lbd(&mut self, cref: ClauseRef, lbd: u32) {
+        self.arena[cref.index() + 1] = lbd;
+    }
+
+    pub(crate) fn activity(&self, cref: ClauseRef) -> f32 {
+        f32::from_bits(self.arena[cref.index() + 2])
+    }
+
+    pub(crate) fn set_activity(&mut self, cref: ClauseRef, activity: f32) {
+        self.arena[cref.index() + 2] = activity.to_bits();
+    }
+
+    /// Tombstones a clause: its words become wasted arena space, reclaimed by
+    /// the next [`ClauseDb::collect_garbage`].  Idempotent.
     pub(crate) fn delete(&mut self, cref: ClauseRef) {
-        let clause = &mut self.clauses[cref.index()];
-        if !clause.deleted {
-            if clause.learnt {
+        let header = &mut self.arena[cref.index()];
+        if *header & FLAG_DELETED == 0 {
+            if *header & FLAG_LEARNT != 0 {
                 self.num_learnt -= 1;
             }
-            clause.deleted = true;
-            clause.lits.clear();
-            clause.lits.shrink_to_fit();
+            *header |= FLAG_DELETED;
+            self.wasted += HEADER_WORDS + (*header & LEN_MASK) as usize;
         }
     }
 
@@ -85,21 +143,74 @@ impl ClauseDb {
         self.num_learnt
     }
 
+    /// Total arena size in words (live + wasted).
+    pub(crate) fn arena_words(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Words occupied by tombstoned clauses.
+    pub(crate) fn wasted_words(&self) -> usize {
+        self.wasted
+    }
+
     /// All live (non-deleted) clauses, problem and learnt alike.
+    ///
+    /// Iterates the explicit live-clause list — cost proportional to the
+    /// clauses that exist *now*, not to every clause ever allocated.
     pub(crate) fn live_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
-        self.clauses
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.deleted)
-            .map(|(i, _)| ClauseRef(i as u32))
+        self.live.iter().copied().filter(|&c| !self.is_deleted(c))
     }
 
     pub(crate) fn learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
-        self.clauses
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.learnt && !c.deleted)
-            .map(|(i, _)| ClauseRef(i as u32))
+        self.live_refs().filter(|&c| self.is_learnt(c))
+    }
+
+    /// Drops tombstoned entries from the live-clause list (the arena words
+    /// stay wasted until [`ClauseDb::collect_garbage`]).
+    pub(crate) fn compact_live(&mut self) {
+        let arena = &self.arena;
+        self.live.retain(|&c| arena[c.index()] & FLAG_DELETED == 0);
+    }
+
+    /// Compacts all live clauses into a fresh arena, preserving their order,
+    /// and returns a [`GcMap`] over the abandoned arena so the caller can
+    /// remap every outstanding [`ClauseRef`] (watch lists, reasons).
+    pub(crate) fn collect_garbage(&mut self) -> GcMap {
+        let mut arena = Vec::with_capacity(self.arena.len() - self.wasted);
+        let mut live = Vec::with_capacity(self.live.len());
+        for &cref in &self.live {
+            let index = cref.index();
+            let header = self.arena[index];
+            if header & FLAG_DELETED != 0 {
+                continue;
+            }
+            let words = HEADER_WORDS + (header & LEN_MASK) as usize;
+            let moved = ClauseRef(arena.len() as u32);
+            arena.extend_from_slice(&self.arena[index..index + words]);
+            // Forwarding pointer for the GcMap: flag + new offset in word 1.
+            self.arena[index] |= FLAG_RELOCATED;
+            self.arena[index + 1] = moved.0;
+            live.push(moved);
+        }
+        let old = std::mem::replace(&mut self.arena, arena);
+        self.live = live;
+        self.wasted = 0;
+        GcMap { old }
+    }
+}
+
+/// Translation table from pre-GC clause offsets to post-GC ones (the old
+/// arena, annotated with forwarding pointers by [`ClauseDb::collect_garbage`]).
+pub(crate) struct GcMap {
+    old: Vec<u32>,
+}
+
+impl GcMap {
+    /// The post-GC offset of a pre-GC clause, or `None` if the clause was
+    /// tombstoned and reclaimed.
+    pub(crate) fn remap(&self, cref: ClauseRef) -> Option<ClauseRef> {
+        let header = self.old[cref.index()];
+        (header & FLAG_RELOCATED != 0).then(|| ClauseRef(self.old[cref.index() + 1]))
     }
 }
 
@@ -113,24 +224,77 @@ mod tests {
     }
 
     #[test]
-    fn push_and_get() {
+    fn alloc_and_get() {
         let mut db = ClauseDb::new();
-        let r = db.push(Clause::new(vec![lit(0), lit(1)], false));
-        assert_eq!(db.get(r).len(), 2);
-        assert!(!db.get(r).learnt);
+        let r = db.alloc(&[lit(0), lit(1)], false);
+        assert_eq!(db.len(r), 2);
+        assert!(!db.is_learnt(r));
+        assert_eq!(db.lits(r), &[lit(0), lit(1)]);
+        assert_eq!(db.lit(r, 1), lit(1));
+        db.swap_lits(r, 0, 1);
+        assert_eq!(db.lits(r), &[lit(1), lit(0)]);
+    }
+
+    #[test]
+    fn header_fields_round_trip() {
+        let mut db = ClauseDb::new();
+        let r = db.alloc(&[lit(0), lit(1), lit(2)], true);
+        assert!(db.is_learnt(r));
+        db.set_lbd(r, 7);
+        db.set_activity(r, 1.5);
+        assert_eq!(db.lbd(r), 7);
+        assert_eq!(db.activity(r), 1.5);
+        assert_eq!(db.len(r), 3, "flags must not leak into the length");
     }
 
     #[test]
     fn learnt_counting_and_delete() {
         let mut db = ClauseDb::new();
-        let a = db.push(Clause::new(vec![lit(0)], true));
-        let _b = db.push(Clause::new(vec![lit(1)], true));
+        let a = db.alloc(&[lit(0)], true);
+        let _b = db.alloc(&[lit(1)], true);
         assert_eq!(db.num_learnt(), 2);
+        assert_eq!(db.wasted_words(), 0);
         db.delete(a);
         assert_eq!(db.num_learnt(), 1);
+        assert_eq!(db.wasted_words(), HEADER_WORDS + 1);
         // Double delete is a no-op.
         db.delete(a);
         assert_eq!(db.num_learnt(), 1);
+        assert_eq!(db.wasted_words(), HEADER_WORDS + 1);
         assert_eq!(db.learnt_refs().count(), 1);
+        assert_eq!(db.live_refs().count(), 1);
+        db.compact_live();
+        assert_eq!(db.live_refs().count(), 1);
+    }
+
+    #[test]
+    fn collect_garbage_compacts_and_remaps() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&[lit(0), lit(1)], false);
+        let b = db.alloc(&[lit(2), lit(3), lit(4)], true);
+        let c = db.alloc(&[lit(5), lit(6)], false);
+        db.set_activity(b, 2.5);
+        db.delete(a);
+        let words_before = db.arena_words();
+        let map = db.collect_garbage();
+        assert_eq!(map.remap(a), None, "deleted clauses are not forwarded");
+        let b2 = map.remap(b).expect("live clause relocated");
+        let c2 = map.remap(c).expect("live clause relocated");
+        assert_eq!(db.lits(b2), &[lit(2), lit(3), lit(4)]);
+        assert_eq!(db.activity(b2), 2.5);
+        assert!(db.is_learnt(b2));
+        assert_eq!(db.lits(c2), &[lit(5), lit(6)]);
+        assert_eq!(db.wasted_words(), 0);
+        assert!(db.arena_words() < words_before);
+        assert_eq!(db.live_refs().count(), 2);
+        assert_eq!(db.num_learnt(), 1);
+    }
+
+    #[test]
+    fn gc_of_an_empty_db_is_a_no_op() {
+        let mut db = ClauseDb::new();
+        let _ = db.collect_garbage();
+        assert_eq!(db.arena_words(), 0);
+        assert_eq!(db.live_refs().count(), 0);
     }
 }

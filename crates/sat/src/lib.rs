@@ -17,6 +17,12 @@
 //!   logically deleted without losing learnt clauses
 //!   ([`Solver::push_frame`], [`Solver::retire_frame`], [`Solver::solve_in`])
 //!   plus a level-0 clause-database reduction pass ([`Solver::simplify`]).
+//! * A flat `u32` clause arena (offsets instead of per-clause heap
+//!   allocations) with periodic garbage collection
+//!   ([`SolverConfig::gc_wasted_ratio`], [`Solver::collect_garbage`]) and a
+//!   spent-variable free list ([`Solver::release_var`]): retired frames give
+//!   back their clauses *and* their variables, so long-lived incremental
+//!   sessions run in bounded memory.
 //! * Optional conflict budgets so callers can impose timeouts
 //!   ([`Solver::set_conflict_budget`]).
 //!

@@ -37,8 +37,11 @@ impl fmt::Display for Var {
 ///
 /// Internally encoded as `2 * var + sign` where `sign == 1` means the literal
 /// is negated.  This is the classic MiniSat encoding and allows literals to be
-/// used directly as indices into watch lists.
+/// used directly as indices into watch lists.  The representation is
+/// `#[repr(transparent)]` over `u32` so the clause arena can expose its
+/// literal words as a `&[Lit]` without copying.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Lit(u32);
 
 impl Lit {

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crate::clause::{Clause, ClauseDb, ClauseRef};
+use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarOrderHeap;
 use crate::luby::luby;
 use crate::{CnfFormula, LBool, Lit, Var};
@@ -46,6 +46,17 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Number of `solve`/`solve_with` invocations.
     pub solves: u64,
+    /// Current size of the clause arena in bytes (live + wasted).
+    pub arena_bytes: u64,
+    /// Bytes of the arena occupied by tombstoned (deleted) clauses, reclaimed
+    /// by the next garbage collection.
+    pub wasted_bytes: u64,
+    /// Garbage-collection passes performed ([`Solver::collect_garbage`]).
+    pub gc_runs: u64,
+    /// Variables reclaimed into the free list ([`Solver::release_var`]); each
+    /// is handed out again by a later [`Solver::new_var`] instead of growing
+    /// the variable space.
+    pub recycled_vars: u64,
 }
 
 /// Tunable search parameters of a [`Solver`].
@@ -70,6 +81,11 @@ pub struct SolverConfig {
     pub random_branch_freq: f64,
     /// Seed of the xorshift generator behind random branching.
     pub seed: u64,
+    /// Fraction of the clause arena that may be wasted (tombstoned) before a
+    /// garbage collection compacts it.  `0.0` forces a GC at every check
+    /// point (a testing mode exercised by the differential suite);
+    /// `f64::INFINITY` disables GC entirely.
+    pub gc_wasted_ratio: f64,
 }
 
 impl Default for SolverConfig {
@@ -81,6 +97,7 @@ impl Default for SolverConfig {
             default_phase: false,
             random_branch_freq: 0.0,
             seed: 0x9E37_79B9_7F4A_7C15,
+            gc_wasted_ratio: GC_WASTED_RATIO,
         }
     }
 }
@@ -140,10 +157,14 @@ struct Watcher {
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct FrameId(u32);
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 struct Frame {
     lit: Lit,
     retired: bool,
+    /// Variables allocated while this frame was the default clause frame.
+    /// They only ever occur in the frame's clauses, so retiring the frame
+    /// releases them for recycling ([`Solver::release_var`]).
+    vars: Vec<Var>,
 }
 
 /// A CDCL SAT solver with incremental solving under assumptions.
@@ -181,11 +202,22 @@ pub struct Solver {
     config: SolverConfig,
     rng_state: u64,
     interrupt: Option<Arc<AtomicBool>>,
+    /// Spent variables available for reuse by [`Solver::new_var`].
+    free_vars: Vec<Var>,
+    /// Variables released ([`Solver::release_var`]) but not yet proven
+    /// unreferenced; the next [`Solver::simplify`] reclaims them.
+    pending_release: Vec<Var>,
+    /// `released[v]` — is `v` in `free_vars` or `pending_release`?  Guards
+    /// against double releases.
+    released: Vec<bool>,
 }
 
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESTART_BASE: u64 = 100;
+/// Default [`SolverConfig::gc_wasted_ratio`], following the MiniSat lineage
+/// (batsat uses 0.20): compact once a fifth of the arena is tombstones.
+const GC_WASTED_RATIO: f64 = 0.20;
 
 impl Solver {
     /// Creates an empty solver with no variables or clauses.
@@ -241,8 +273,30 @@ impl Solver {
         solver
     }
 
-    /// Allocates a fresh variable.
+    /// Allocates a variable: recycles one from the free list when available
+    /// (see [`Solver::release_var`]), otherwise grows the variable space.
+    ///
+    /// While a default frame is active ([`Solver::set_default_frame`]), the
+    /// variable is tagged to that frame and automatically released when the
+    /// frame retires — this is how per-generation Tseitin variables are
+    /// reclaimed without the encoding passes knowing about recycling.
     pub fn new_var(&mut self) -> Var {
+        let var = match self.free_vars.pop() {
+            Some(var) => {
+                self.released[var.index()] = false;
+                self.reset_var(var);
+                var
+            }
+            None => self.fresh_var(),
+        };
+        if let Some(frame) = self.default_frame {
+            self.frames[frame.0 as usize].vars.push(var);
+        }
+        var
+    }
+
+    /// Grows the variable space by one, bypassing the free list.
+    fn fresh_var(&mut self) -> Var {
         let var = Var::from_index(self.num_vars);
         self.num_vars += 1;
         self.watches.push(Vec::new());
@@ -253,15 +307,77 @@ impl Solver {
         self.level.push(0);
         self.activity.push(0.0);
         self.seen.push(false);
+        self.released.push(false);
         self.order.grow_to(self.num_vars);
         self.order.insert(var, &self.activity);
         var
     }
 
-    /// Ensures at least `n` variables exist, allocating as needed.
+    /// Restores a recycled variable to the pristine state `fresh_var` creates.
+    fn reset_var(&mut self, var: Var) {
+        debug_assert_eq!(
+            self.assigns[var.index()],
+            LBool::Undef,
+            "recycled variables are unassigned at level 0"
+        );
+        self.phase[var.index()] = self.config.default_phase;
+        self.reason[var.index()] = None;
+        self.level[var.index()] = 0;
+        self.activity[var.index()] = 0.0;
+        self.seen[var.index()] = false;
+        if !self.order.contains(var) {
+            self.order.insert(var, &self.activity);
+        }
+    }
+
+    /// Ensures the variables with indices `0..n` exist and are usable,
+    /// allocating as needed.
+    ///
+    /// Released variables below `n` are reclaimed from the free list so the
+    /// whole index range is safe to reference (this is the bulk-load path of
+    /// [`Solver::from_cnf`]/[`Solver::add_formula`], which address variables
+    /// by index).
     pub fn ensure_vars(&mut self, n: usize) {
+        if !self.free_vars.is_empty() || !self.pending_release.is_empty() {
+            let claimed: Vec<Var> = self
+                .free_vars
+                .iter()
+                .copied()
+                .filter(|v| v.index() < n)
+                .collect();
+            self.free_vars.retain(|v| v.index() >= n);
+            self.pending_release.retain(|v| v.index() >= n);
+            for var in claimed {
+                self.released[var.index()] = false;
+                self.reset_var(var);
+            }
+            for i in 0..n.min(self.released.len()) {
+                self.released[i] = false;
+            }
+        }
         while self.num_vars < n {
-            self.new_var();
+            self.fresh_var();
+        }
+    }
+
+    /// Queues a spent variable for recycling.
+    ///
+    /// The variable is reclaimed by the next [`Solver::simplify`] once no
+    /// live clause mentions it (live *learnt* clauses mentioning it are
+    /// redundant and get dropped to unblock the reclaim; a live *problem*
+    /// clause keeps it pending).  After reclaiming, [`Solver::new_var`] hands
+    /// the variable out again, so callers must not reference a released
+    /// variable in later clauses or assumptions.
+    ///
+    /// [`Solver::retire_frame`] calls this automatically for the frame's
+    /// activation variable and every variable allocated while the frame was
+    /// the default clause frame — the variable-recycling counterpart of the
+    /// frame's clause reclamation.
+    pub fn release_var(&mut self, var: Var) {
+        debug_assert!(var.index() < self.num_vars, "unknown variable");
+        if !self.released[var.index()] {
+            self.released[var.index()] = true;
+            self.pending_release.push(var);
         }
     }
 
@@ -279,7 +395,14 @@ impl Solver {
     pub fn stats(&self) -> SolverStats {
         let mut stats = self.stats;
         stats.learnt_clauses = self.db.num_learnt() as u64;
+        stats.arena_bytes = (self.db.arena_words() * 4) as u64;
+        stats.wasted_bytes = (self.db.wasted_words() * 4) as u64;
         stats
+    }
+
+    /// Number of variables currently waiting in the recycling free list.
+    pub fn free_var_count(&self) -> usize {
+        self.free_vars.len()
     }
 
     /// Limits the number of conflicts the *next* solve call may spend.
@@ -367,7 +490,7 @@ impl Solver {
                 }
             }
             _ => {
-                let cref = self.db.push(Clause::new(simplified, false));
+                let cref = self.db.alloc(&simplified, false);
                 self.attach_clause(cref);
             }
         }
@@ -391,11 +514,16 @@ impl Solver {
     /// solve calls that activate the frame ([`Solver::solve_in`]); plain
     /// [`Solver::solve`]/[`Solver::solve_with`] calls leave them dormant.
     pub fn push_frame(&mut self) -> FrameId {
+        // The activation variable belongs to the *new* frame (released on its
+        // retirement), never to whatever default frame is currently active.
+        let caller_default = self.default_frame.take();
         let lit = Lit::positive(self.new_var());
+        self.default_frame = caller_default;
         let id = FrameId(self.frames.len() as u32);
         self.frames.push(Frame {
             lit,
             retired: false,
+            vars: Vec::new(),
         });
         id
     }
@@ -407,7 +535,7 @@ impl Solver {
     ///
     /// Panics if the frame has been retired.
     pub fn frame_lit(&self, frame: FrameId) -> Lit {
-        let f = self.frames[frame.0 as usize];
+        let f = &self.frames[frame.0 as usize];
         assert!(!f.retired, "frame {frame:?} has been retired");
         f.lit
     }
@@ -466,7 +594,9 @@ impl Solver {
     /// are untouched, which is the whole point of frames: retiring temporary
     /// constraints keeps the solver's accumulated knowledge.  Call
     /// [`Solver::simplify`] afterwards to reclaim the memory of the
-    /// now-satisfied clauses.
+    /// now-satisfied clauses — and to recycle the frame's variables: the
+    /// activation variable and every variable allocated while the frame was
+    /// the default clause frame are queued for [`Solver::release_var`].
     pub fn retire_frame(&mut self, frame: FrameId) {
         let f = &mut self.frames[frame.0 as usize];
         if f.retired {
@@ -474,10 +604,15 @@ impl Solver {
         }
         f.retired = true;
         let lit = f.lit;
+        let vars = std::mem::take(&mut f.vars);
         if self.default_frame == Some(frame) {
             self.default_frame = None;
         }
         self.add_clause_root([!lit]);
+        for var in vars {
+            self.release_var(var);
+        }
+        self.release_var(lit.var());
     }
 
     /// Decides satisfiability with the given frames activated, under extra
@@ -493,7 +628,9 @@ impl Solver {
     }
 
     /// Level-0 clause-database reduction: removes clauses that are already
-    /// satisfied by the top-level assignment and compacts the watch lists.
+    /// satisfied by the top-level assignment, compacts the watch lists,
+    /// reclaims released variables into the recycling free list, and runs a
+    /// clause-arena garbage collection when enough bytes are wasted.
     ///
     /// This is what reclaims retired frames ([`Solver::retire_frame`]) and
     /// constraints subsumed by unit clauses, so long-running incremental
@@ -510,7 +647,7 @@ impl Solver {
         }
         let satisfied_at_root =
             |solver: &Solver, cref: ClauseRef| {
-                solver.db.get(cref).lits.iter().any(|&l| {
+                solver.db.lits(cref).iter().any(|&l| {
                     solver.lit_value(l) == LBool::True && solver.level[l.var().index()] == 0
                 })
             };
@@ -520,22 +657,157 @@ impl Solver {
             .filter(|&cref| satisfied_at_root(self, cref))
             .collect();
         for cref in victims {
-            // A satisfied clause may still be recorded as the reason of a
-            // level-0 assignment; level-0 assignments are permanent, so the
-            // reason is never consulted again and can be dropped.
-            let first = self.db.get(cref).lits[0];
-            if self.reason[first.var().index()] == Some(cref) {
-                self.reason[first.var().index()] = None;
-            }
-            if !self.db.get(cref).learnt {
-                self.num_problem_clauses = self.num_problem_clauses.saturating_sub(1);
-            }
-            self.db.delete(cref);
+            self.delete_clause(cref);
         }
+        self.prune_watchers();
+        self.process_releases();
+        self.db.compact_live();
+        self.maybe_gc();
+    }
+
+    /// Tombstones a clause, dropping any level-0 reason reference to it and
+    /// keeping the problem-clause count in step.
+    fn delete_clause(&mut self, cref: ClauseRef) {
+        // A satisfied clause may still be recorded as the reason of a
+        // level-0 assignment; level-0 assignments are permanent, so the
+        // reason is never consulted again and can be dropped.
+        let first = self.db.lit(cref, 0);
+        if self.reason[first.var().index()] == Some(cref) {
+            self.reason[first.var().index()] = None;
+        }
+        if !self.db.is_learnt(cref) {
+            self.num_problem_clauses = self.num_problem_clauses.saturating_sub(1);
+        }
+        self.db.delete(cref);
+    }
+
+    fn prune_watchers(&mut self) {
         for watchers in &mut self.watches {
             let db = &self.db;
-            watchers.retain(|w| !db.get(w.cref).deleted);
+            watchers.retain(|w| !db.is_deleted(w.cref));
         }
+    }
+
+    /// Reclaims pending-released variables ([`Solver::release_var`]) whose
+    /// last live mention is gone.  Runs at decision level 0 (from
+    /// [`Solver::simplify`]).
+    ///
+    /// Live *learnt* clauses mentioning a pending variable are deleted first:
+    /// they are redundant by definition, and without this step a binary
+    /// learnt clause (never touched by `reduce_db`) could pin a spent Tseitin
+    /// variable forever.  A live *problem* clause mentioning the variable
+    /// keeps it pending — the caller released it prematurely.
+    ///
+    /// A reclaimed variable that is still assigned at level 0 (the retired
+    /// frame's activation variable, fixed false by [`Solver::retire_frame`])
+    /// is unassigned: at this point no live clause mentions it, every clause
+    /// deleted because of its assignment itself mentioned it, and no learnt
+    /// clause produced while it was assigned can depend on it (no clause
+    /// mentioning it could propagate), so dropping the assignment only
+    /// forgets information.
+    fn process_releases(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.pending_release.is_empty() {
+            return;
+        }
+        let mut pending = vec![false; self.num_vars];
+        for v in &self.pending_release {
+            pending[v.index()] = true;
+        }
+        let db = &self.db;
+        let blockers: Vec<ClauseRef> = db
+            .learnt_refs()
+            .filter(|&c| db.lits(c).iter().any(|l| pending[l.var().index()]))
+            .collect();
+        let pruned_any = !blockers.is_empty();
+        for cref in blockers {
+            self.delete_clause(cref);
+        }
+        if pruned_any {
+            self.prune_watchers();
+        }
+
+        let mut mentioned = vec![false; self.num_vars];
+        for cref in self.db.live_refs() {
+            for l in self.db.lits(cref) {
+                mentioned[l.var().index()] = true;
+            }
+        }
+
+        let pending_vars = std::mem::take(&mut self.pending_release);
+        let mut unassign: Vec<Var> = Vec::new();
+        for var in pending_vars {
+            if mentioned[var.index()] {
+                self.pending_release.push(var);
+                continue;
+            }
+            if self.assigns[var.index()] != LBool::Undef {
+                debug_assert_eq!(self.level[var.index()], 0);
+                unassign.push(var);
+            }
+            self.free_vars.push(var);
+            self.stats.recycled_vars += 1;
+        }
+        if !unassign.is_empty() {
+            let mut drop = vec![false; self.num_vars];
+            for v in &unassign {
+                drop[v.index()] = true;
+            }
+            self.trail.retain(|l| !drop[l.var().index()]);
+            self.qhead = self.trail.len();
+            for var in unassign {
+                self.assigns[var.index()] = LBool::Undef;
+                self.reason[var.index()] = None;
+                if !self.order.contains(var) {
+                    self.order.insert(var, &self.activity);
+                }
+            }
+        }
+    }
+
+    /// Compacts the clause arena when the wasted fraction exceeds
+    /// [`SolverConfig::gc_wasted_ratio`].
+    fn maybe_gc(&mut self) {
+        let ratio = self.config.gc_wasted_ratio;
+        if ratio == 0.0 {
+            // Forced testing mode: relocate at every check point, waste or no
+            // waste, so the differential suite exercises the remap machinery
+            // as hostilely as possible.
+            self.collect_garbage();
+        } else if ratio.is_finite()
+            && self.db.wasted_words() > 0
+            && self.db.wasted_words() as f64 >= ratio * self.db.arena_words() as f64
+        {
+            self.collect_garbage();
+        }
+    }
+
+    /// Unconditionally compacts the clause arena: live clauses move into a
+    /// fresh contiguous allocation and every watch-list and reason reference
+    /// is remapped.  Normally triggered automatically (see
+    /// [`SolverConfig::gc_wasted_ratio`]); public for callers that want to
+    /// release memory at a deterministic point.
+    pub fn collect_garbage(&mut self) {
+        let map = self.db.collect_garbage();
+        for watchers in &mut self.watches {
+            watchers.retain_mut(|w| match map.remap(w.cref) {
+                Some(moved) => {
+                    w.cref = moved;
+                    true
+                }
+                None => false,
+            });
+        }
+        for (index, slot) in self.reason.iter_mut().enumerate() {
+            if let Some(cref) = *slot {
+                *slot = map.remap(cref);
+                debug_assert!(
+                    slot.is_some() || self.assigns[index] == LBool::Undef || self.level[index] == 0,
+                    "a reason above level 0 must survive GC"
+                );
+            }
+        }
+        self.stats.gc_runs += 1;
     }
 
     /// Decides satisfiability of the clauses added so far.
@@ -647,11 +919,9 @@ impl Solver {
     }
 
     fn attach_clause(&mut self, cref: ClauseRef) {
-        let (l0, l1) = {
-            let c = self.db.get(cref);
-            debug_assert!(c.len() >= 2);
-            (c.lits[0], c.lits[1])
-        };
+        debug_assert!(self.db.len(cref) >= 2);
+        let l0 = self.db.lit(cref, 0);
+        let l1 = self.db.lit(cref, 1);
         self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
         self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
@@ -697,17 +967,14 @@ impl Solver {
                     continue;
                 }
                 let cref = w.cref;
-                if self.db.get(cref).deleted {
+                if self.db.is_deleted(cref) {
                     continue;
                 }
-                {
-                    let clause = self.db.get_mut(cref);
-                    if clause.lits[0] == false_lit {
-                        clause.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(clause.lits[1], false_lit);
+                if self.db.lit(cref, 0) == false_lit {
+                    self.db.swap_lits(cref, 0, 1);
                 }
-                let first = self.db.get(cref).lits[0];
+                debug_assert_eq!(self.db.lit(cref, 1), false_lit);
+                let first = self.db.lit(cref, 0);
                 if first != w.blocker && self.lit_value(first) == LBool::True {
                     watchers[keep] = Watcher {
                         cref,
@@ -716,11 +983,11 @@ impl Solver {
                     keep += 1;
                     continue;
                 }
-                let len = self.db.get(cref).len();
+                let len = self.db.len(cref);
                 for k in 2..len {
-                    let lk = self.db.get(cref).lits[k];
+                    let lk = self.db.lit(cref, k);
                     if self.lit_value(lk) != LBool::False {
-                        self.db.get_mut(cref).lits.swap(1, k);
+                        self.db.swap_lits(cref, 1, k);
                         self.watches[(!lk).code()].push(Watcher {
                             cref,
                             blocker: first,
@@ -786,13 +1053,13 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let inc = self.cla_inc;
-        let clause = self.db.get_mut(cref);
-        clause.activity += inc;
-        if clause.activity > 1e20 {
+        let bumped = self.db.activity(cref) + self.cla_inc as f32;
+        self.db.set_activity(cref, bumped);
+        if bumped > 1e20 {
             let refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
             for r in refs {
-                self.db.get_mut(r).activity *= 1e-20;
+                let rescaled = self.db.activity(r) * 1e-20;
+                self.db.set_activity(r, rescaled);
             }
             self.cla_inc *= 1e-20;
         }
@@ -838,12 +1105,15 @@ impl Solver {
         let mut index = self.trail.len();
 
         loop {
-            if self.db.get(confl).learnt {
+            if self.db.is_learnt(confl) {
                 self.bump_clause(confl);
             }
             let start = usize::from(p.is_some());
-            let lits: Vec<Lit> = self.db.get(confl).lits[start..].to_vec();
-            for q in lits {
+            // Indexed access instead of copying the literals out: the arena
+            // hands literals back by value, so the conflict walk allocates
+            // nothing.
+            for position in start..self.db.len(confl) {
+                let q = self.db.lit(confl, position);
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -907,14 +1177,12 @@ impl Solver {
     fn literal_redundant(&self, lit: Lit) -> bool {
         match self.reason[lit.var().index()] {
             None => false,
-            Some(cref) => {
-                let clause = self.db.get(cref);
-                clause
-                    .lits
-                    .iter()
-                    .skip(1)
-                    .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0)
-            }
+            Some(cref) => self
+                .db
+                .lits(cref)
+                .iter()
+                .skip(1)
+                .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0),
         }
     }
 
@@ -924,9 +1192,8 @@ impl Solver {
             self.unchecked_enqueue(asserting, None);
         } else {
             let lbd = self.compute_lbd(&learnt);
-            let mut clause = Clause::new(learnt, true);
-            clause.lbd = lbd;
-            let cref = self.db.push(clause);
+            let cref = self.db.alloc(&learnt, true);
+            self.db.set_lbd(cref, lbd);
             self.attach_clause(cref);
             self.bump_clause(cref);
             self.unchecked_enqueue(asserting, Some(cref));
@@ -941,26 +1208,19 @@ impl Solver {
     }
 
     fn clause_locked(&self, cref: ClauseRef) -> bool {
-        let clause = self.db.get(cref);
-        if clause.deleted || clause.lits.is_empty() {
+        if self.db.is_deleted(cref) {
             return false;
         }
-        let l0 = clause.lits[0];
+        let l0 = self.db.lit(cref, 0);
         self.lit_value(l0) == LBool::True && self.reason[l0.var().index()] == Some(cref)
     }
 
     fn reduce_db(&mut self) {
-        let mut candidates: Vec<(f64, u32, ClauseRef)> = self
+        let mut candidates: Vec<(f32, u32, ClauseRef)> = self
             .db
             .learnt_refs()
-            .filter(|&cref| {
-                let c = self.db.get(cref);
-                c.len() > 2 && !self.clause_locked(cref)
-            })
-            .map(|cref| {
-                let c = self.db.get(cref);
-                (c.activity, c.lbd, cref)
-            })
+            .filter(|&cref| self.db.len(cref) > 2 && !self.clause_locked(cref))
+            .map(|cref| (self.db.activity(cref), self.db.lbd(cref), cref))
             .collect();
         // Remove the half with the lowest activity (ties broken by larger LBD).
         candidates.sort_by(|a, b| {
@@ -973,6 +1233,7 @@ impl Solver {
             self.db.delete(cref);
         }
         self.max_learnts *= 1.1;
+        self.maybe_gc();
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -1004,6 +1265,10 @@ impl Solver {
                 self.cancel_until(backtrack_level);
                 self.record_learnt(learnt);
                 self.decay_activities();
+                // Cheap threshold check; only compacts when the wasted
+                // fraction crossed `gc_wasted_ratio` (every conflict in the
+                // forced-GC testing mode, ratio 0.0).
+                self.maybe_gc();
             } else {
                 if self.budget_exhausted() {
                     return Some(SolveResult::Unknown);
@@ -1509,6 +1774,157 @@ mod tests {
             }
         }
         assert_eq!(s.solve(), SolveResult::Unsat, "pigeonhole stays unsat");
+    }
+
+    #[test]
+    fn forced_gc_preserves_answers() {
+        // gc_wasted_ratio 0.0 compacts the arena at every conflict; the
+        // solver must decide exactly as the default configuration does.
+        let config = SolverConfig {
+            gc_wasted_ratio: 0.0,
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::with_config(config.clone());
+        let n = 5;
+        s.ensure_vars(n * (n - 1));
+        let v = |i: usize, j: usize| Lit::positive(Var::from_index(i * (n - 1) + j));
+        for i in 0..n {
+            s.add_clause((0..n - 1).map(|j| v(i, j)));
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!v(i1, j), !v(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().gc_runs > 0, "forced mode must actually collect");
+
+        let mut t = Solver::with_config(config);
+        t.ensure_vars(3);
+        for c in [&[1, 2][..], &[-1, 3], &[-3, -2], &[2]] {
+            t.add_clause(lits(c));
+        }
+        assert_eq!(t.solve(), SolveResult::Sat);
+        assert_eq!(t.var_value(Var::from_index(1)), Some(true));
+    }
+
+    #[test]
+    fn gc_compacts_wasted_arena_and_keeps_solving() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        let frame = s.push_frame();
+        for _ in 0..64 {
+            s.add_clause_in(frame, [Lit::negative(a), Lit::negative(b)]);
+        }
+        let before = s.stats().arena_bytes;
+        s.retire_frame(frame);
+        s.simplify();
+        let after = s.stats();
+        assert!(after.gc_runs >= 1, "retiring most of the arena triggers GC");
+        assert_eq!(after.wasted_bytes, 0, "GC reclaims every tombstone");
+        assert!(
+            after.arena_bytes < before,
+            "{} -> {}",
+            before,
+            after.arena_bytes
+        );
+        assert_eq!(s.solve_with(&[Lit::negative(a)]), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(b)), Some(true));
+    }
+
+    #[test]
+    fn retired_frame_variables_are_recycled() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a)]);
+        let baseline = s.num_vars();
+        for generation in 0..5 {
+            let frame = s.push_frame();
+            s.set_default_frame(Some(frame));
+            // Three frame-scoped variables chained to the permanent one.
+            let x = s.new_var();
+            let y = s.new_var();
+            let z = s.new_var();
+            s.add_clause([Lit::negative(a), Lit::positive(x)]);
+            s.add_clause([Lit::negative(x), Lit::positive(y)]);
+            s.add_clause([Lit::negative(y), Lit::positive(z)]);
+            s.set_default_frame(None);
+            assert_eq!(
+                s.solve_in(&[frame], &[]),
+                SolveResult::Sat,
+                "gen {generation}"
+            );
+            assert_eq!(s.value(Lit::positive(z)), Some(true));
+            s.retire_frame(frame);
+            s.simplify();
+            assert_eq!(
+                s.free_var_count(),
+                4,
+                "gen {generation}: 3 scoped vars + the activation var recycle"
+            );
+        }
+        assert_eq!(
+            s.num_vars(),
+            baseline + 4,
+            "five generations reuse one generation's worth of variables"
+        );
+        assert_eq!(s.stats().recycled_vars, 5 * 4);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(a)), Some(true));
+    }
+
+    #[test]
+    fn release_var_waits_for_live_problem_clauses() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        s.release_var(b); // premature: a live problem clause mentions b
+        s.simplify();
+        assert_eq!(s.free_var_count(), 0, "b stays pending");
+        assert_eq!(s.solve_with(&[Lit::negative(a)]), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(b)), Some(true));
+        // Once the clause is subsumed away, the release completes.
+        s.add_clause([Lit::positive(a)]);
+        s.simplify();
+        assert_eq!(s.free_var_count(), 1);
+        assert_eq!(s.new_var(), b, "the recycled variable is handed out again");
+    }
+
+    #[test]
+    fn ensure_vars_claims_released_indices() {
+        let mut s = Solver::new();
+        let frame = s.push_frame();
+        s.set_default_frame(Some(frame));
+        let x = s.new_var();
+        s.add_clause([Lit::positive(x)]);
+        s.set_default_frame(None);
+        s.retire_frame(frame);
+        s.simplify();
+        assert!(s.free_var_count() > 0);
+        // Bulk-loading a formula that addresses the full index range must not
+        // leave any of those indices in the free list.
+        s.ensure_vars(s.num_vars() + 1);
+        assert_eq!(s.free_var_count(), 0);
+        s.add_clause([Lit::positive(x)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Lit::positive(x)), Some(true));
+    }
+
+    #[test]
+    fn stats_report_arena_and_recycling_counters() {
+        let mut s = solver_with(3, &[&[1, 2], &[-1, 3], &[-3, -2]]);
+        let stats = s.stats();
+        assert!(stats.arena_bytes > 0, "problem clauses live in the arena");
+        assert_eq!(stats.wasted_bytes, 0);
+        assert_eq!(stats.gc_runs, 0);
+        assert_eq!(stats.recycled_vars, 0);
+        let _ = s.solve();
+        assert!(s.stats().arena_bytes >= stats.arena_bytes);
     }
 
     #[test]
