@@ -64,4 +64,12 @@ cargo test -q --test session_reuse --test parallel_engine
 echo "==> cargo test -q --test gc_differential"
 cargo test -q --test gc_differential
 
+# The wide-simulation correctness story: the W-word blocked engine must match
+# the scalar reference bit for bit for W in {1,2,4,8}, and the batched oracle
+# transport / parallel analyses must leave the attack trajectory untouched.
+# Also part of the workspace run; re-run explicitly so a failure is
+# attributed to the wide-sim machinery.
+echo "==> cargo test -q --test wide_sim"
+cargo test -q --test wide_sim
+
 echo "CI OK"

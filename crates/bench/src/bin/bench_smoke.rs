@@ -30,15 +30,20 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use fall::key_confirmation::{key_confirmation_in, partitioned_key_search, KeyConfirmationConfig};
-use fall::oracle::SimOracle;
+use fall::attack::{fall_attack, FallAttackConfig};
+use fall::functional::PrefilterStats;
+use fall::key_confirmation::{
+    key_confirmation, key_confirmation_in, partitioned_key_search, KeyConfirmationConfig,
+};
+use fall::oracle::{CountingOracle, SimOracle};
 use fall::parallel::{parallel_partitioned_key_search, portfolio_sat_attack};
 use fall::sat_attack::{sat_attack, SatAttackConfig};
 use fall::session::AttackSession;
 use fall_bench::{HdPolicy, LockCase, MetricReport, Scale, TABLE1_CIRCUITS};
-use locking::{LockingScheme, XorLock};
+use locking::{LockingScheme, SfllHd, TtLock, XorLock};
 use netlist::cnf::KeyCone;
 use netlist::random::{generate, RandomCircuitSpec};
+use netlist::WideSim;
 use sat::SolverConfig;
 
 // Two partition bits put ex1010's winning region into the first worker wave,
@@ -272,6 +277,145 @@ fn measure() -> MetricReport {
         false,
     );
 
+    // ---- Wide bit-parallel simulation throughput --------------------------
+    // The 8-word blocked engine versus the 64-way per-call-allocating
+    // baseline (`node_words_fresh`) over an identical 32768-pattern budget.
+    // The ratio is gated two ways: the in-run assert requires >= 2x on any
+    // machine (the ISSUE acceptance floor — the blocked engine amortises the
+    // per-gate dispatch over 8 words and allocates nothing per sweep), and
+    // the baseline comparison applies the wall-clock 3x band because single
+    // shot ratios jitter with the scheduler.
+    let ws_nl = generate(&RandomCircuitSpec::new("smoke_widesim", 16, 4, 600));
+    const WS_WORDS: usize = 8;
+    const WS_SWEEPS: usize = 64; // 64 sweeps x 8 words x 64 bits = 32768 patterns
+    let mut ws_state = 0x5EED_F00Du64;
+    let wide_stimuli: Vec<Vec<u64>> = (0..WS_SWEEPS)
+        .map(|_| {
+            (0..ws_nl.num_inputs() * WS_WORDS)
+                .map(|_| splitmix64(&mut ws_state))
+                .collect()
+        })
+        .collect();
+    // The same patterns re-blocked for the one-word baseline.
+    let mut scalar_stimuli: Vec<Vec<u64>> = Vec::with_capacity(WS_SWEEPS * WS_WORDS);
+    for block in &wide_stimuli {
+        for lane in 0..WS_WORDS {
+            scalar_stimuli.push(
+                (0..ws_nl.num_inputs())
+                    .map(|pin| block[pin * WS_WORDS + lane])
+                    .collect(),
+            );
+        }
+    }
+    let mut best_fresh = f64::INFINITY;
+    let mut best_wide = f64::INFINITY;
+    let mut fresh_checksum = 0u64;
+    let mut wide_checksum = 0u64;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let mut acc = 0u64;
+        for stimulus in &scalar_stimuli {
+            let values = ws_nl.node_words_fresh(stimulus, &[]).expect("widths");
+            for &(_, id) in ws_nl.outputs() {
+                acc ^= values[id.index()];
+            }
+        }
+        best_fresh = best_fresh.min(t.elapsed().as_secs_f64());
+        fresh_checksum = acc;
+
+        let t = Instant::now();
+        let mut acc = 0u64;
+        let mut sim = WideSim::new(&ws_nl, WS_WORDS);
+        for block in &wide_stimuli {
+            sim.run(&ws_nl, block, &[]).expect("widths");
+            for &(_, id) in ws_nl.outputs() {
+                for &word in sim.node(id) {
+                    acc ^= word;
+                }
+            }
+        }
+        best_wide = best_wide.min(t.elapsed().as_secs_f64());
+        wide_checksum = acc;
+    }
+    assert_eq!(
+        fresh_checksum, wide_checksum,
+        "wide and baseline engines must simulate identical patterns"
+    );
+    let patterns = (WS_SWEEPS * WS_WORDS * 64) as f64;
+    let ws_speedup = best_fresh / best_wide;
+    report.record("wide_sim_speedup_8w_vs_fresh", ws_speedup, true);
+    report.record(
+        "info_wide_sim_mpatterns_per_s",
+        patterns / best_wide / 1e6,
+        true,
+    );
+    assert!(
+        ws_speedup >= 2.0,
+        "wide engine must be at least 2x the 64-way baseline, measured {ws_speedup:.2}x"
+    );
+
+    // ---- Wide prefilters + batched oracle path ----------------------------
+    // Deterministic counters from full seeded attacks: how many SAT queries
+    // the word-parallel prefilters refuted (h = 0 exercises the unateness
+    // filter, h = 1 the Hamming-distance filter) and how much random
+    // simulation they spent doing it.
+    let wp_original = generate(&RandomCircuitSpec::new("smoke_wide_attack", 14, 3, 90));
+    let wp_tt = TtLock::new(10)
+        .with_seed(31)
+        .lock(&wp_original)
+        .expect("lock")
+        .optimized();
+    let wp_hd = SfllHd::new(10, 1)
+        .with_seed(8)
+        .lock(&wp_original)
+        .expect("lock")
+        .optimized();
+    let t = Instant::now();
+    let tt_result = fall_attack(&wp_tt.locked, None, &FallAttackConfig::for_h(0));
+    let hd_result = fall_attack(&wp_hd.locked, None, &FallAttackConfig::for_h(1));
+    report.record("info_fall_attacks_s", t.elapsed().as_secs_f64(), false);
+    assert!(tt_result.status.is_success(), "TTLock attack");
+    assert!(hd_result.status.is_success(), "SFLL-HD1 attack");
+    let mut prefilter = PrefilterStats::default();
+    prefilter.merge(&tt_result.prefilter);
+    prefilter.merge(&hd_result.prefilter);
+    assert!(
+        prefilter.patterns_simulated > 0,
+        "attacks must exercise the wide prefilters"
+    );
+    report.record("prefilter_refuted", prefilter.total_refuted() as f64, false);
+    report.record(
+        "prefilter_patterns_simulated",
+        prefilter.patterns_simulated as f64,
+        false,
+    );
+
+    // Word-batched oracle traffic: a screened key confirmation over a
+    // two-key shortlist ships its 256 probe patterns as one 4-word
+    // `query_words` batch, which the counting wrapper observes.  The screen
+    // is opt-in (`screen_words`), so `parallel_1w_unique_oracle_queries`
+    // above is untouched.
+    let wo_oracle = CountingOracle::new(SimOracle::new(wp_hd.original.clone()));
+    let wo_config = KeyConfirmationConfig {
+        screen_words: 4,
+        ..KeyConfirmationConfig::default()
+    };
+    let shortlist = vec![wp_hd.key.clone(), wp_hd.key.complement()];
+    let confirmation = key_confirmation(&wp_hd.locked, &wo_oracle, &shortlist, &wo_config);
+    assert!(
+        confirmation.completed && confirmation.key == Some(wp_hd.key.clone()),
+        "screened confirmation"
+    );
+    report.record(
+        "oracle_words_batched",
+        wo_oracle.batched_words() as f64,
+        false,
+    );
+    assert!(
+        wo_oracle.batched_words() >= 4,
+        "the screen must ship at least one 4-word batch"
+    );
+
     // ---- Solver portfolio on one SAT-attack instance ----------------------
     let pf_original = generate(&RandomCircuitSpec::new("smoke_pf", 12, 3, 120));
     let pf_locked = XorLock::new(10)
@@ -301,6 +445,17 @@ fn measure() -> MetricReport {
     );
 
     report
+}
+
+/// Deterministic stimulus generator for the throughput section: the bench
+/// binaries avoid the `rand` dev-dependency, and splitmix64 is plenty for
+/// filling simulation words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn is_wall_clock(name: &str) -> bool {

@@ -3,6 +3,8 @@
 //! `comparator identification → support-set matching → functional analyses →
 //! equivalence checking → (optional) key confirmation`.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use locking::Key;
@@ -11,9 +13,11 @@ use netlist::{Netlist, NodeId};
 use crate::equivalence::candidate_equals_strip_in;
 use crate::functional::{
     analyze_unateness_in, distance_2h_in, sliding_window_in, Analysis, CubeAssignment,
+    PrefilterStats,
 };
 use crate::key_confirmation::{key_confirmation_in, KeyConfirmationConfig};
 use crate::oracle::Oracle;
+use crate::parallel::CancelToken;
 use crate::session::AttackSession;
 use crate::structural::{find_candidates, find_comparators, find_comparators_sat, CandidateNodes};
 
@@ -32,6 +36,18 @@ pub struct FallAttackConfig {
     /// Use the SAT-based comparator classifier instead of cofactor
     /// enumeration (ablation of § III-A).
     pub sat_comparators: bool,
+    /// Worker threads for the per-candidate functional analyses and
+    /// equivalence checks (stages 3 + 4).  `1` (the default) runs the
+    /// (candidate × analysis) task list serially through one shared session;
+    /// larger values fan the same tasks across per-worker sessions and merge
+    /// the results in serial task order, so the shortlist is identical.
+    pub analysis_workers: usize,
+    /// Cancel the remaining analysis tasks as soon as one key survives the
+    /// equivalence check (first-winner semantics via [`CancelToken`]).  The
+    /// surviving key is always one the full sweep would also have
+    /// shortlisted, but the shortlist may be a strict subset of it, so this
+    /// defaults to `false`.
+    pub stop_after_first_key: bool,
     /// Budgets for the optional key-confirmation stage.
     pub confirmation: KeyConfirmationConfig,
 }
@@ -44,6 +60,8 @@ impl FallAttackConfig {
             analyses: None,
             equivalence_check: true,
             sat_comparators: false,
+            analysis_workers: 1,
+            stop_after_first_key: false,
             confirmation: KeyConfirmationConfig::default(),
         }
     }
@@ -123,7 +141,12 @@ pub struct FallAttackResult {
     pub key_width: usize,
     /// Which analyses produced at least one surviving key.
     pub analyses_used: Vec<Analysis>,
-    /// Per-stage wall-clock timings.
+    /// Word-parallel prefilter counters summed over every analysis session
+    /// (refuted polarities/candidates and simulated-pattern volume).
+    pub prefilter: PrefilterStats,
+    /// Per-stage wall-clock timings.  With `analysis_workers > 1` the
+    /// `functional` and `equivalence` entries are summed across workers, so
+    /// they measure aggregate CPU time rather than elapsed time.
     pub timings: StageTimings,
 }
 
@@ -173,6 +196,7 @@ pub fn fall_attack(
         num_candidates: candidates.candidates.len(),
         key_width: candidates.key_width(),
         analyses_used: Vec::new(),
+        prefilter: PrefilterStats::default(),
         timings,
     };
 
@@ -193,43 +217,110 @@ pub fn fall_attack(
         .analyses
         .clone()
         .unwrap_or_else(|| Analysis::applicable(config.h, candidates.key_width()));
+    // The (candidate × analysis) task list, in the order the serial sweep
+    // visits it.  The parallel runner merges per-task results back in this
+    // order, so both paths shortlist identical keys in identical order.
+    let tasks: Vec<(NodeId, Analysis)> = candidates
+        .candidates
+        .iter()
+        .flat_map(|&c| analyses.iter().map(move |&a| (c, a)))
+        .collect();
     let mut shortlisted: Vec<Key> = Vec::new();
     let mut analyses_used: Vec<Analysis> = Vec::new();
-    let mut functional_time = Duration::ZERO;
-    let mut equivalence_time = Duration::ZERO;
+    let mut prefilter = PrefilterStats::default();
 
-    for &candidate in &candidates.candidates {
-        for &analysis in &analyses {
-            let t = Instant::now();
-            let cube = run_analysis(&mut session, candidate, analysis, config.h);
-            functional_time += t.elapsed();
-            let Some(cube) = cube else { continue };
-
-            if config.equivalence_check {
-                let t = Instant::now();
-                let equivalent =
-                    candidate_equals_strip_in(&mut session, candidate, &cube, config.h);
-                equivalence_time += t.elapsed();
-                if !equivalent {
-                    continue;
-                }
-            }
-            if let Some(key) = cube_to_key(locked, &candidates, &cube) {
-                if !shortlisted.contains(&key) {
-                    shortlisted.push(key);
-                }
-                if !analyses_used.contains(&analysis) {
-                    analyses_used.push(analysis);
-                }
+    let workers = config.analysis_workers.min(tasks.len()).max(1);
+    let mut survivors: Vec<Option<(Key, Analysis)>> = Vec::new();
+    if workers <= 1 {
+        let mut functional_time = Duration::ZERO;
+        let mut equivalence_time = Duration::ZERO;
+        for &(candidate, analysis) in &tasks {
+            let outcome = run_task(
+                &mut session,
+                locked,
+                &candidates,
+                candidate,
+                analysis,
+                config,
+                &mut functional_time,
+                &mut equivalence_time,
+            );
+            let found = outcome.is_some();
+            survivors.push(outcome);
+            if found && config.stop_after_first_key {
+                break;
             }
         }
+        timings.functional = functional_time;
+        timings.equivalence = equivalence_time;
+        prefilter.merge(&session.prefilter_stats());
+    } else {
+        let next = AtomicUsize::new(0);
+        let cancel = CancelToken::new();
+        let slots: Mutex<Vec<Option<(Key, Analysis)>>> = Mutex::new(vec![None; tasks.len()]);
+        let functional_nanos = AtomicU64::new(0);
+        let equivalence_nanos = AtomicU64::new(0);
+        let merged = Mutex::new(PrefilterStats::default());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut session = AttackSession::new(locked);
+                    session.set_interrupt(Some(cancel.as_flag()));
+                    loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(candidate, analysis)) = tasks.get(index) else {
+                            break;
+                        };
+                        let mut functional_time = Duration::ZERO;
+                        let mut equivalence_time = Duration::ZERO;
+                        let outcome = run_task(
+                            &mut session,
+                            locked,
+                            &candidates,
+                            candidate,
+                            analysis,
+                            config,
+                            &mut functional_time,
+                            &mut equivalence_time,
+                        );
+                        functional_nanos
+                            .fetch_add(functional_time.as_nanos() as u64, Ordering::Relaxed);
+                        equivalence_nanos
+                            .fetch_add(equivalence_time.as_nanos() as u64, Ordering::Relaxed);
+                        if let Some(outcome) = outcome {
+                            slots.lock().expect("slots lock")[index] = Some(outcome);
+                            if config.stop_after_first_key {
+                                cancel.cancel();
+                            }
+                        }
+                    }
+                    let stats = session.prefilter_stats();
+                    merged.lock().expect("stats lock").merge(&stats);
+                });
+            }
+        });
+        timings.functional = Duration::from_nanos(functional_nanos.into_inner());
+        timings.equivalence = Duration::from_nanos(equivalence_nanos.into_inner());
+        prefilter = merged.into_inner().expect("stats lock");
+        survivors = slots.into_inner().expect("slots lock");
     }
-    timings.functional = functional_time;
-    timings.equivalence = equivalence_time;
+
+    for (key, analysis) in survivors.into_iter().flatten() {
+        if !shortlisted.contains(&key) {
+            shortlisted.push(key);
+        }
+        if !analyses_used.contains(&analysis) {
+            analyses_used.push(analysis);
+        }
+    }
 
     let mut result = base(FallStatus::NoKeysFound, timings);
     result.analyses_used = analyses_used;
     result.shortlisted_keys = shortlisted;
+    result.prefilter = prefilter;
 
     match result.shortlisted_keys.len() {
         0 => result,
@@ -279,6 +370,35 @@ fn run_analysis(
     }
 }
 
+/// One (candidate × analysis) task of stages 3 + 4: runs the analysis, then
+/// the optional equivalence check, and maps a surviving cube to a key.
+/// Shared by the serial sweep and the parallel workers.
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    session: &mut AttackSession<'_>,
+    locked: &Netlist,
+    candidates: &CandidateNodes,
+    candidate: NodeId,
+    analysis: Analysis,
+    config: &FallAttackConfig,
+    functional_time: &mut Duration,
+    equivalence_time: &mut Duration,
+) -> Option<(Key, Analysis)> {
+    let t = Instant::now();
+    let cube = run_analysis(session, candidate, analysis, config.h);
+    *functional_time += t.elapsed();
+    let cube = cube?;
+    if config.equivalence_check {
+        let t = Instant::now();
+        let equivalent = candidate_equals_strip_in(session, candidate, &cube, config.h);
+        *equivalence_time += t.elapsed();
+        if !equivalent {
+            return None;
+        }
+    }
+    cube_to_key(locked, candidates, &cube).map(|key| (key, analysis))
+}
+
 /// Maps a cube assignment over protected inputs to a key over the locked
 /// circuit's key inputs using the comparator pairing.
 fn cube_to_key(
@@ -293,7 +413,7 @@ fn cube_to_key(
         .zip(&candidates.paired_keys)
     {
         let value = cube.iter().find(|&&(id, _)| id == input).map(|&(_, v)| v)?;
-        let key_index = locked.key_inputs().iter().position(|&k| k == key_node)?;
+        let key_index = locked.key_input_position(key_node)?;
         bits[key_index] = Some(value);
     }
     bits.into_iter()
@@ -413,6 +533,47 @@ mod tests {
         let result = fall_attack(&locked.locked, None, &config);
         assert_eq!(result.status, FallStatus::UniqueKey);
         assert_eq!(result.best_key(), Some(&locked.key));
+    }
+
+    #[test]
+    fn parallel_analyses_match_the_serial_sweep() {
+        let original = original("fa_par");
+        let locked = SfllHd::new(10, 1)
+            .with_seed(8)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
+        let serial = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(1));
+        assert!(serial.prefilter.patterns_simulated > 0);
+        for workers in [2usize, 4] {
+            let mut config = FallAttackConfig::for_h(1);
+            config.analysis_workers = workers;
+            let parallel = fall_attack(&locked.locked, None, &config);
+            assert_eq!(parallel.status, serial.status, "workers {workers}");
+            assert_eq!(parallel.shortlisted_keys, serial.shortlisted_keys);
+            assert_eq!(parallel.analyses_used, serial.analyses_used);
+            assert_eq!(parallel.prefilter, serial.prefilter);
+        }
+    }
+
+    #[test]
+    fn stop_after_first_key_still_finds_a_shortlisted_key() {
+        let original = original("fa_first");
+        let locked = TtLock::new(10)
+            .with_seed(31)
+            .lock(&original)
+            .expect("lock")
+            .optimized();
+        let full = fall_attack(&locked.locked, None, &FallAttackConfig::for_h(0));
+        let mut config = FallAttackConfig::for_h(0);
+        config.analysis_workers = 2;
+        config.stop_after_first_key = true;
+        let result = fall_attack(&locked.locked, None, &config);
+        assert!(result.status.is_success(), "{result:?}");
+        assert!(result
+            .shortlisted_keys
+            .iter()
+            .all(|k| full.shortlisted_keys.contains(k)));
     }
 
     #[test]

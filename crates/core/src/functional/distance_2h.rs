@@ -37,7 +37,12 @@ pub fn distance_2h_in(
     h: usize,
 ) -> Option<CubeAssignment> {
     let query = build_hd_query(session, candidate, 2 * h)?;
-    if !satisfying_within_distance(session.netlist(), candidate, &query.inputs, 2 * h) {
+    let netlist = session.netlist();
+    let within = {
+        let (sim, stats) = session.wide_sim_parts();
+        satisfying_within_distance(netlist, candidate, &query.inputs, 2 * h, sim, stats)
+    };
+    if !within {
         return None;
     }
     if session.check_cone_property(&query.base) != SolveResult::Sat {

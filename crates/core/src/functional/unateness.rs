@@ -53,7 +53,10 @@ pub fn analyze_unateness_in(
     // Word-parallel pre-filter: polarities refuted by an explicit witness
     // need no SAT query; a candidate refuted in both polarities of any
     // variable is rejected outright.
-    let polarities = unateness_polarities(netlist, candidate, &inputs);
+    let polarities = {
+        let (sim, stats) = session.wide_sim_parts();
+        unateness_polarities(netlist, candidate, &inputs, sim, stats)
+    };
     if polarities.iter().any(|&(p, n)| !p && !n) {
         return None;
     }

@@ -43,13 +43,13 @@ use std::sync::Arc;
 use locking::Key;
 use netlist::cnf::{encode_any_difference, encode_key_cone, KeyCone, Signal};
 use netlist::cnf::{IncrementalEncoder, PinBinding};
-use netlist::{Netlist, NodeId};
+use netlist::{Netlist, NodeId, WideSim, DEFAULT_WIDE_WORDS};
 use sat::{FrameId, Lit, SolveResult, Solver, SolverConfig, SolverStats};
 
 use crate::encode::{
     assumptions_for, instantiate, instantiate_sharing_inputs, model_key, model_values, CircuitCopy,
 };
-use crate::functional::{and2_lit, popcount_lits, xor2_lit};
+use crate::functional::{and2_lit, popcount_lits, xor2_lit, PrefilterStats};
 
 /// Which of the session's key-literal vectors an I/O constraint applies to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,6 +140,12 @@ pub struct AttackSession<'n> {
     /// DIP formula and the dual cone input spaces count one each).
     full_encodings: u64,
     clauses_at_last_simplify: usize,
+    /// Reusable wide-simulation scratch for the analysis prefilters,
+    /// allocated on first use ([`AttackSession::wide_sim_parts`]).
+    wide: Option<WideSim>,
+    /// Prefilter decision counters accumulated by every analysis run through
+    /// this session.
+    prefilter_stats: PrefilterStats,
 }
 
 impl<'n> AttackSession<'n> {
@@ -163,6 +169,8 @@ impl<'n> AttackSession<'n> {
             phi_key_pool: None,
             full_encodings: 0,
             clauses_at_last_simplify: 0,
+            wide: None,
+            prefilter_stats: PrefilterStats::default(),
         }
     }
 
@@ -209,6 +217,24 @@ impl<'n> AttackSession<'n> {
     /// per-generation Tseitin variables reclaimed so far (`recycled_vars`).
     pub fn stats(&self) -> SolverStats {
         self.solver.stats()
+    }
+
+    /// The session's reusable wide-simulation scratch
+    /// ([`DEFAULT_WIDE_WORDS`] words, allocated on first use) together with
+    /// the prefilter counters — split-borrowed so an analysis can hold both
+    /// while reading the netlist through the independent `&'n` reference of
+    /// [`AttackSession::netlist`].
+    pub fn wide_sim_parts(&mut self) -> (&mut WideSim, &mut PrefilterStats) {
+        let wide = self
+            .wide
+            .get_or_insert_with(|| WideSim::new(self.netlist, DEFAULT_WIDE_WORDS));
+        (wide, &mut self.prefilter_stats)
+    }
+
+    /// Prefilter decision counters accumulated by every analysis that ran
+    /// through this session.
+    pub fn prefilter_stats(&self) -> PrefilterStats {
+        self.prefilter_stats
     }
 
     /// Number of solver variables this session has allocated.  Bounded across

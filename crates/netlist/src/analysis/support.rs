@@ -76,12 +76,8 @@ pub fn support(netlist: &Netlist, node: NodeId) -> SupportSet {
 ///
 /// Panics if an id is not a primary input of the netlist.
 pub fn input_positions(netlist: &Netlist, ids: &[NodeId]) -> Vec<usize> {
-    let mut position_of = vec![None; netlist.num_nodes()];
-    for (position, &id) in netlist.inputs().iter().enumerate() {
-        position_of[id.index()] = Some(position);
-    }
     ids.iter()
-        .map(|&id| position_of[id.index()].expect("id is a primary input"))
+        .map(|&id| netlist.input_position(id).expect("id is a primary input"))
         .collect()
 }
 

@@ -126,6 +126,8 @@ pub struct Netlist {
     nodes: Vec<Node>,
     inputs: Vec<NodeId>,
     key_inputs: Vec<NodeId>,
+    input_positions: HashMap<NodeId, usize>,
+    key_positions: HashMap<NodeId, usize>,
     outputs: Vec<(String, NodeId)>,
     names: HashMap<String, NodeId>,
     fresh_counter: u64,
@@ -225,6 +227,23 @@ impl Netlist {
     /// Returns `true` if `id` is a key input.
     pub fn is_key_input(&self, id: NodeId) -> bool {
         self.node(id).is_key_input()
+    }
+
+    /// Returns the declaration-order position of a primary input, or `None`
+    /// if `id` is not a primary input of this netlist.
+    ///
+    /// This is a precomputed O(1) lookup (the inverse of indexing into
+    /// [`Netlist::inputs`]), maintained incrementally as inputs are added.
+    pub fn input_position(&self, id: NodeId) -> Option<usize> {
+        self.input_positions.get(&id).copied()
+    }
+
+    /// Returns the declaration-order position of a key input, or `None` if
+    /// `id` is not a key input of this netlist.
+    ///
+    /// The key-input counterpart of [`Netlist::input_position`].
+    pub fn key_input_position(&self, id: NodeId) -> Option<usize> {
+        self.key_positions.get(&id).copied()
     }
 
     /// Adds a primary input.
@@ -338,8 +357,14 @@ impl Netlist {
         let id = NodeId::from_index(self.nodes.len());
         self.names.insert(name.clone(), id);
         match kind {
-            NodeKind::Input => self.inputs.push(id),
-            NodeKind::KeyInput => self.key_inputs.push(id),
+            NodeKind::Input => {
+                self.input_positions.insert(id, self.inputs.len());
+                self.inputs.push(id);
+            }
+            NodeKind::KeyInput => {
+                self.key_positions.insert(id, self.key_inputs.len());
+                self.key_inputs.push(id);
+            }
             NodeKind::Gate { .. } => {}
         }
         self.nodes.push(Node { name, kind });
@@ -418,6 +443,25 @@ mod tests {
         assert_eq!(nl.lookup("g"), Some(g));
         assert_eq!(nl.lookup("missing"), None);
         assert!(nl.validate().is_ok());
+        assert_eq!(nl.input_position(a), Some(0));
+        assert_eq!(nl.input_position(k), None);
+        assert_eq!(nl.key_input_position(k), Some(0));
+        assert_eq!(nl.key_input_position(g), None);
+    }
+
+    #[test]
+    fn positions_track_declaration_order() {
+        let mut nl = Netlist::new("t");
+        let ins: Vec<NodeId> = (0..5).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let keys: Vec<NodeId> = (0..3).map(|i| nl.add_key_input(format!("k{i}"))).collect();
+        for (pos, &id) in ins.iter().enumerate() {
+            assert_eq!(nl.input_position(id), Some(pos));
+            assert_eq!(nl.key_input_position(id), None);
+        }
+        for (pos, &id) in keys.iter().enumerate() {
+            assert_eq!(nl.key_input_position(id), Some(pos));
+            assert_eq!(nl.input_position(id), None);
+        }
     }
 
     #[test]

@@ -1,6 +1,245 @@
-//! Single-pattern and 64-way parallel simulation.
+//! Single-pattern, 64-way, and wide multi-word parallel simulation.
+//!
+//! The workhorse is [`WideSim`]: a reusable, cache-blocked scratch buffer
+//! that evaluates `W` 64-bit words (`W * 64` patterns) per sweep over the
+//! netlist.  [`Netlist::node_words`] is the `W = 1` case expressed through
+//! the same engine; [`Netlist::node_words_fresh`] preserves the original
+//! allocate-per-call 64-way implementation as the throughput baseline for
+//! the bench-smoke regression gate and the differential suite.
 
-use crate::{Netlist, NetlistError, NodeId, NodeKind};
+use crate::{GateKind, Netlist, NetlistError, NodeId, NodeKind};
+
+/// Default number of 64-bit lanes per node in a [`WideSim`] block
+/// (8 words = 512 patterns per sweep).
+pub const DEFAULT_WIDE_WORDS: usize = 8;
+
+/// A reusable, cache-blocked multi-word simulation pass.
+///
+/// The scratch holds one contiguous `Vec<u64>` of `num_nodes * width` words,
+/// blocked node-major: the `width` lanes of node `n` occupy
+/// `values[n * width .. (n + 1) * width]`, so a node's lanes stay adjacent
+/// in cache while the sweep walks the netlist once.  Bit `b` of lane `l`
+/// carries pattern number `l * 64 + b`.
+///
+/// Stimuli use the same layout per pin: the lanes of the `i`-th primary
+/// input occupy `inputs[i * width .. (i + 1) * width]` (likewise for keys).
+///
+/// Gate evaluation is specialized by fanin count: constants fill, unary
+/// gates copy or invert, two-input gates (the overwhelmingly common case)
+/// apply the binary operation lane-by-lane straight from the two fanin
+/// blocks, and wider gates fold fanins directly into the destination block
+/// — no per-gate temporary buffer anywhere.
+///
+/// ```
+/// use netlist::{GateKind, Netlist, WideSim};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate("g", GateKind::And, &[a, b]);
+/// nl.add_output("g", g);
+///
+/// let mut sim = WideSim::new(&nl, 2);
+/// sim.run(&nl, &[!0, 0b1010, !0, 0b1100], &[]).unwrap();
+/// assert_eq!(sim.node(g), &[!0, 0b1000]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WideSim {
+    width: usize,
+    num_nodes: usize,
+    values: Vec<u64>,
+}
+
+impl WideSim {
+    /// Allocates a scratch buffer sized for `netlist` with `width` words
+    /// (`width * 64` patterns) per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(netlist: &Netlist, width: usize) -> WideSim {
+        assert!(width > 0, "wide simulation needs at least one word");
+        WideSim {
+            width,
+            num_nodes: netlist.num_nodes(),
+            values: vec![0u64; netlist.num_nodes() * width],
+        }
+    }
+
+    /// Number of 64-bit words per node.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of patterns evaluated per [`WideSim::run`] sweep.
+    pub fn patterns_per_sweep(&self) -> usize {
+        self.width * 64
+    }
+
+    /// Simulates `width * 64` patterns in one sweep, leaving every node's
+    /// lane block readable through [`WideSim::node`].
+    ///
+    /// `inputs` must hold `num_inputs * width` words and `keys`
+    /// `num_key_inputs * width` words, blocked pin-major as described on
+    /// [`WideSim`].  The scratch is reused across calls with no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::StimulusWidth`] if a stimulus block does not
+    /// match the circuit; the expected count is in words (`pins * width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `netlist` has a different node count than the one this
+    /// scratch was allocated for.
+    pub fn run(
+        &mut self,
+        netlist: &Netlist,
+        inputs: &[u64],
+        keys: &[u64],
+    ) -> Result<(), NetlistError> {
+        assert_eq!(
+            netlist.num_nodes(),
+            self.num_nodes,
+            "netlist shape does not match the simulation scratch"
+        );
+        let w = self.width;
+        if inputs.len() != netlist.num_inputs() * w {
+            return Err(NetlistError::StimulusWidth {
+                expected: netlist.num_inputs() * w,
+                got: inputs.len(),
+            });
+        }
+        if keys.len() != netlist.num_key_inputs() * w {
+            return Err(NetlistError::StimulusWidth {
+                expected: netlist.num_key_inputs() * w,
+                got: keys.len(),
+            });
+        }
+        for (pos, &id) in netlist.inputs().iter().enumerate() {
+            self.values[id.index() * w..][..w].copy_from_slice(&inputs[pos * w..][..w]);
+        }
+        for (pos, &id) in netlist.key_inputs().iter().enumerate() {
+            self.values[id.index() * w..][..w].copy_from_slice(&keys[pos * w..][..w]);
+        }
+        for (id, node) in netlist.iter() {
+            let NodeKind::Gate { kind, fanins } = node.kind() else {
+                continue;
+            };
+            // Fanins are topologically earlier, so their blocks all sit
+            // strictly before the destination block.
+            let (prior, rest) = self.values.split_at_mut(id.index() * w);
+            let dst = &mut rest[..w];
+            match fanins.len() {
+                0 => dst.fill(if matches!(kind, GateKind::Const1) {
+                    !0
+                } else {
+                    0
+                }),
+                1 => {
+                    let src = &prior[fanins[0].index() * w..][..w];
+                    if matches!(kind, GateKind::Not) {
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = !s;
+                        }
+                    } else {
+                        dst.copy_from_slice(src);
+                    }
+                }
+                2 => {
+                    let a = &prior[fanins[0].index() * w..][..w];
+                    let b = &prior[fanins[1].index() * w..][..w];
+                    apply2_words(*kind, dst, a, b);
+                }
+                _ => {
+                    dst.copy_from_slice(&prior[fanins[0].index() * w..][..w]);
+                    fold_words(*kind, dst, prior, &fanins[1..], w);
+                    if kind.is_inverting() {
+                        for d in dst.iter_mut() {
+                            *d = !*d;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The lane block of a node after the last [`WideSim::run`].
+    pub fn node(&self, id: NodeId) -> &[u64] {
+        &self.values[id.index() * self.width..][..self.width]
+    }
+
+    /// Appends the lane blocks of every declared output (declaration order)
+    /// to `out` — the gather step of the batched-oracle protocol.
+    pub fn extend_with_outputs(&self, netlist: &Netlist, out: &mut Vec<u64>) {
+        for (_, id) in netlist.outputs() {
+            out.extend_from_slice(self.node(*id));
+        }
+    }
+
+    /// Consumes the scratch and returns the raw node-major value buffer.
+    pub fn into_values(self) -> Vec<u64> {
+        self.values
+    }
+}
+
+/// Lane-wise binary gate application for the two-fanin fast path.
+#[inline]
+fn apply2_words(kind: GateKind, dst: &mut [u64], a: &[u64], b: &[u64]) {
+    macro_rules! lanes {
+        ($op:expr) => {
+            for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                *d = $op(x, y);
+            }
+        };
+    }
+    match kind {
+        GateKind::And => lanes!(|x, y| x & y),
+        GateKind::Nand => lanes!(|x: u64, y: u64| !(x & y)),
+        GateKind::Or => lanes!(|x, y| x | y),
+        GateKind::Nor => lanes!(|x: u64, y: u64| !(x | y)),
+        GateKind::Xor => lanes!(|x, y| x ^ y),
+        GateKind::Xnor => lanes!(|x: u64, y: u64| !(x ^ y)),
+        _ => unreachable!("two-fanin gates are binary ops"),
+    }
+}
+
+/// Folds the remaining fanins of a wide (3+ input) gate into `dst` using the
+/// gate's base operation (negated kinds invert afterwards in the caller).
+#[inline]
+fn fold_words(kind: GateKind, dst: &mut [u64], prior: &[u64], rest: &[NodeId], w: usize) {
+    macro_rules! fold {
+        ($op:tt) => {
+            for &f in rest {
+                let src = &prior[f.index() * w..][..w];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d $op s;
+                }
+            }
+        };
+    }
+    match kind {
+        GateKind::And | GateKind::Nand => fold!(&=),
+        GateKind::Or | GateKind::Nor => fold!(|=),
+        GateKind::Xor | GateKind::Xnor => fold!(^=),
+        _ => unreachable!("wide gates are AND/OR/XOR families"),
+    }
+}
+
+/// Scalar binary gate application for the two-fanin fast path.
+#[inline]
+fn apply2_bool(kind: GateKind, a: bool, b: bool) -> bool {
+    match kind {
+        GateKind::And => a && b,
+        GateKind::Nand => !(a && b),
+        GateKind::Or => a || b,
+        GateKind::Nor => !(a || b),
+        GateKind::Xor => a ^ b,
+        GateKind::Xnor => !(a ^ b),
+        _ => unreachable!("two-fanin gates are binary ops"),
+    }
+}
 
 impl Netlist {
     /// Evaluates the circuit for a single input pattern.
@@ -60,13 +299,37 @@ impl Netlist {
         for (pos, &id) in self.key_inputs().iter().enumerate() {
             values[id.index()] = keys[pos];
         }
-        let mut fanin_values: Vec<bool> = Vec::with_capacity(8);
         for (id, node) in self.iter() {
-            if let NodeKind::Gate { kind, fanins } = node.kind() {
-                fanin_values.clear();
-                fanin_values.extend(fanins.iter().map(|f| values[f.index()]));
-                values[id.index()] = kind.evaluate(&fanin_values);
-            }
+            let NodeKind::Gate { kind, fanins } = node.kind() else {
+                continue;
+            };
+            values[id.index()] = match fanins.len() {
+                0 => matches!(kind, GateKind::Const1),
+                1 => values[fanins[0].index()] ^ matches!(kind, GateKind::Not),
+                2 => apply2_bool(*kind, values[fanins[0].index()], values[fanins[1].index()]),
+                _ => {
+                    let mut acc = values[fanins[0].index()];
+                    match kind {
+                        GateKind::And | GateKind::Nand => {
+                            for &f in &fanins[1..] {
+                                acc &= values[f.index()];
+                            }
+                        }
+                        GateKind::Or | GateKind::Nor => {
+                            for &f in &fanins[1..] {
+                                acc |= values[f.index()];
+                            }
+                        }
+                        GateKind::Xor | GateKind::Xnor => {
+                            for &f in &fanins[1..] {
+                                acc ^= values[f.index()];
+                            }
+                        }
+                        _ => unreachable!("wide gates are AND/OR/XOR families"),
+                    }
+                    acc ^ kind.is_inverting()
+                }
+            };
         }
         Ok(values)
     }
@@ -91,11 +354,32 @@ impl Netlist {
 
     /// 64-way parallel version of [`Netlist::node_values`].
     ///
+    /// This is the `W = 1` case of [`WideSim`]: one engine evaluates both.
+    ///
     /// # Errors
     ///
     /// Returns [`NetlistError::StimulusWidth`] if the stimulus widths do not
     /// match the number of primary or key inputs.
     pub fn node_words(&self, inputs: &[u64], keys: &[u64]) -> Result<Vec<u64>, NetlistError> {
+        let mut sim = WideSim::new(self, 1);
+        sim.run(self, inputs, keys)?;
+        Ok(sim.into_values())
+    }
+
+    /// The pre-`WideSim` 64-way simulation: allocates scratch per call and
+    /// evaluates every gate through [`GateKind::evaluate_words`] on a
+    /// temporary fanin buffer.
+    ///
+    /// Kept as the ablation baseline the bench-smoke throughput gate and the
+    /// `tests/wide_sim.rs` differential suite compare the wide engine
+    /// against; production code should use [`Netlist::node_words`] or
+    /// [`WideSim`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::StimulusWidth`] if the stimulus widths do not
+    /// match the number of primary or key inputs.
+    pub fn node_words_fresh(&self, inputs: &[u64], keys: &[u64]) -> Result<Vec<u64>, NetlistError> {
         if inputs.len() != self.num_inputs() {
             return Err(NetlistError::StimulusWidth {
                 expected: self.num_inputs(),
@@ -131,13 +415,16 @@ impl Netlist {
     ///
     /// This is useful for exhaustively enumerating the local function of a
     /// node whose support is small (for example comparator identification).
+    /// Supplied ids resolve through the netlist's precomputed position maps
+    /// ([`Netlist::input_position`]), so the cost is O(values), not
+    /// O(values × inputs); ids that are not inputs are ignored.
     pub fn evaluate_node(&self, node: NodeId, input_values: &[(NodeId, bool)]) -> bool {
         let mut inputs = vec![false; self.num_inputs()];
         let mut keys = vec![false; self.num_key_inputs()];
         for &(id, value) in input_values {
-            if let Some(pos) = self.inputs().iter().position(|&x| x == id) {
+            if let Some(pos) = self.input_position(id) {
                 inputs[pos] = value;
-            } else if let Some(pos) = self.key_inputs().iter().position(|&x| x == id) {
+            } else if let Some(pos) = self.key_input_position(id) {
                 keys[pos] = value;
             }
         }
@@ -183,6 +470,29 @@ mod tests {
         nl
     }
 
+    /// One gate of every kind and arity class, to exercise all sim paths.
+    fn gate_zoo() -> Netlist {
+        let mut nl = Netlist::new("zoo");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let k = nl.add_key_input("k");
+        let c0 = nl.add_gate("c0", GateKind::Const0, &[]);
+        let c1 = nl.add_gate("c1", GateKind::Const1, &[]);
+        let buf = nl.add_gate("buf", GateKind::Buf, &[a]);
+        let not = nl.add_gate("not", GateKind::Not, &[b]);
+        let and3 = nl.add_gate("and3", GateKind::And, &[a, b, c]);
+        let nand3 = nl.add_gate("nand3", GateKind::Nand, &[a, b, k]);
+        let or3 = nl.add_gate("or3", GateKind::Or, &[buf, not, c]);
+        let nor2 = nl.add_gate("nor2", GateKind::Nor, &[c0, c]);
+        let xor4 = nl.add_gate("xor4", GateKind::Xor, &[a, b, c, k]);
+        let xnor3 = nl.add_gate("xnor3", GateKind::Xnor, &[and3, or3, c1]);
+        let top = nl.add_gate("top", GateKind::Or, &[nand3, nor2, xor4, xnor3]);
+        nl.add_output("top", top);
+        nl.add_output("xor4", xor4);
+        nl
+    }
+
     #[test]
     fn full_adder_truth_table() {
         let nl = full_adder();
@@ -215,6 +525,102 @@ mod tests {
     }
 
     #[test]
+    fn zoo_scalar_word_and_fresh_paths_agree() {
+        let nl = gate_zoo();
+        for pattern in 0..16u64 {
+            let bits = pattern_to_bits(pattern, 4);
+            let (ins, key) = (&bits[..3], &bits[3..]);
+            let scalar = nl.node_values(ins, key).expect("widths match");
+            let in_words: Vec<u64> = ins.iter().map(|&b| if b { !0 } else { 0 }).collect();
+            let key_words: Vec<u64> = key.iter().map(|&b| if b { !0 } else { 0 }).collect();
+            let words = nl.node_words(&in_words, &key_words).expect("widths match");
+            let fresh = nl
+                .node_words_fresh(&in_words, &key_words)
+                .expect("widths match");
+            assert_eq!(words, fresh, "engine vs baseline on {pattern:04b}");
+            for (i, &v) in scalar.iter().enumerate() {
+                let expected = if v { !0u64 } else { 0 };
+                assert_eq!(words[i], expected, "node {i} on {pattern:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_sim_matches_scalar_across_widths() {
+        let nl = gate_zoo();
+        for width in [1usize, 2, 4, 8] {
+            let mut sim = WideSim::new(&nl, width);
+            assert_eq!(sim.patterns_per_sweep(), width * 64);
+            // A cheap deterministic stimulus that differs per lane and pin.
+            let mk = |seed: u64, count: usize| -> Vec<u64> {
+                (0..count as u64)
+                    .map(|i| (seed.wrapping_mul(i + 1)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .collect()
+            };
+            let inputs = mk(3, nl.num_inputs() * width);
+            let keys = mk(7, nl.num_key_inputs() * width);
+            sim.run(&nl, &inputs, &keys).expect("widths match");
+            for lane in 0..width {
+                for bit in 0..64 {
+                    let in_bits: Vec<bool> = (0..nl.num_inputs())
+                        .map(|i| (inputs[i * width + lane] >> bit) & 1 == 1)
+                        .collect();
+                    let key_bits: Vec<bool> = (0..nl.num_key_inputs())
+                        .map(|i| (keys[i * width + lane] >> bit) & 1 == 1)
+                        .collect();
+                    let scalar = nl.node_values(&in_bits, &key_bits).expect("widths match");
+                    for (id, _) in nl.iter() {
+                        let wide = (sim.node(id)[lane] >> bit) & 1 == 1;
+                        assert_eq!(
+                            wide,
+                            scalar[id.index()],
+                            "node {id:?} w={width} lane={lane} bit={bit}"
+                        );
+                    }
+                }
+            }
+            // The scratch is reusable: a second run with fresh stimuli must
+            // fully overwrite the previous sweep.
+            let inputs2 = mk(11, nl.num_inputs() * width);
+            let keys2 = mk(13, nl.num_key_inputs() * width);
+            sim.run(&nl, &inputs2, &keys2).expect("widths match");
+            let once = WideSim::new(&nl, width);
+            let mut once = once;
+            once.run(&nl, &inputs2, &keys2).expect("widths match");
+            assert_eq!(sim.into_values(), once.into_values());
+        }
+    }
+
+    #[test]
+    fn wide_sim_checks_stimulus_widths() {
+        let nl = full_adder();
+        let mut sim = WideSim::new(&nl, 2);
+        assert!(matches!(
+            sim.run(&nl, &[0; 3], &[]),
+            Err(NetlistError::StimulusWidth {
+                expected: 6,
+                got: 3
+            })
+        ));
+        assert!(sim.run(&nl, &[0; 6], &[0]).is_err());
+        assert!(sim.run(&nl, &[0; 6], &[]).is_ok());
+    }
+
+    #[test]
+    fn extend_with_outputs_gathers_declaration_order() {
+        let nl = full_adder();
+        let mut sim = WideSim::new(&nl, 2);
+        let inputs = [1u64, 2, 3, 4, 5, 6];
+        sim.run(&nl, &inputs, &[]).expect("widths match");
+        let mut out = Vec::new();
+        sim.extend_with_outputs(&nl, &mut out);
+        let sum = nl.lookup("sum").unwrap();
+        let cout = nl.lookup("cout").unwrap();
+        assert_eq!(out[..2], *sim.node(sum));
+        assert_eq!(out[2..4], *sim.node(cout));
+    }
+
+    #[test]
     fn stimulus_width_is_checked() {
         let nl = full_adder();
         assert!(matches!(
@@ -225,6 +631,7 @@ mod tests {
             })
         ));
         assert!(nl.evaluate_words(&[0, 0], &[]).is_err());
+        assert!(nl.node_words_fresh(&[0, 0], &[]).is_err());
     }
 
     #[test]
@@ -237,6 +644,8 @@ mod tests {
         assert!(!nl.evaluate_node(g, &[]));
         assert!(nl.evaluate_node(g, &[(a, true)]));
         assert!(nl.evaluate_node(g, &[(b, true)]));
+        // Non-input ids (gates) are silently ignored, as before.
+        assert!(!nl.evaluate_node(g, &[(g, true)]));
     }
 
     #[test]
