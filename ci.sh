@@ -42,6 +42,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Documentation gate: rustdoc must build warning-free (broken intra-doc
+# links, bad code fences, missing docs on public items all fail the build).
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# The runnable walkthroughs under examples/ must keep compiling; they are
+# documentation too (quickstart, serve_client, ...).
+echo "==> cargo build --examples"
+cargo build --examples
+
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo build --release"
     cargo build --release

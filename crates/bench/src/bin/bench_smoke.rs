@@ -44,6 +44,7 @@ use locking::{LockingScheme, SfllHd, TtLock, XorLock};
 use netlist::cnf::KeyCone;
 use netlist::random::{generate, RandomCircuitSpec};
 use netlist::WideSim;
+use netshim::Value;
 use sat::SolverConfig;
 
 // Two partition bits put ex1010's winning region into the first worker wave,
@@ -444,7 +445,172 @@ fn measure() -> MetricReport {
         false,
     );
 
+    // ---- fall-serve: many-client smoke load -------------------------------
+    // An in-process server (ephemeral port, 2 worker sessions) under 8
+    // concurrent wire clients x 4 confirmation jobs each.  The job mix is
+    // deterministic — every job confirms the true TTLock key against its
+    // complement — so the completion/key-found/busy counters are exact and
+    // baseline-gated; the end-to-end p50/p99 latencies land in the baseline
+    // under the wall-clock 3x band (`_s` suffix).  The final `/metrics`
+    // scrape is parsed with `MetricReport::from_json`, which pins the wire
+    // format of the metrics surface to the report dialect.
+    {
+        const CLIENTS: usize = 8;
+        const JOBS_PER_CLIENT: usize = 4;
+        let mut server_config = fall_serve::ServerConfig::default();
+        server_config.service.workers_per_target = 2;
+        server_config.service.queue_capacity = 64;
+        let server = fall_serve::Server::start(server_config).expect("start fall-serve");
+        let addr = server.local_addr();
+
+        let mut control = ServeClient::connect(addr);
+        control.send(&Value::object([
+            ("op", Value::from("register")),
+            ("name", Value::from("smoke")),
+            ("scheme", Value::from("ttlock")),
+            ("h", Value::from(0u64)),
+            (
+                "locked",
+                Value::from(netlist::bench_format::write(&wp_tt.locked)),
+            ),
+            (
+                "oracle",
+                Value::from(netlist::bench_format::write(&wp_original)),
+            ),
+        ]));
+        let registered = control.recv();
+        assert_eq!(
+            registered.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "register failed: {registered}"
+        );
+
+        let good: String = wp_tt
+            .key
+            .bits()
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        let bad: String = wp_tt
+            .key
+            .complement()
+            .bits()
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..CLIENTS {
+                let (good, bad) = (good.clone(), bad.clone());
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr);
+                    for id in 0..JOBS_PER_CLIENT as u64 {
+                        client.send(&Value::object([
+                            ("op", Value::from("attack")),
+                            ("id", Value::from(id)),
+                            ("target", Value::from("smoke")),
+                            ("kind", Value::from("confirm")),
+                            (
+                                "shortlist",
+                                Value::Array(vec![
+                                    Value::from(bad.as_str()),
+                                    Value::from(good.as_str()),
+                                ]),
+                            ),
+                        ]));
+                    }
+                    let mut reports = 0;
+                    while reports < JOBS_PER_CLIENT {
+                        let frame = client.recv();
+                        if frame.get("event").and_then(Value::as_str) != Some("job") {
+                            assert_eq!(
+                                frame.get("ok").and_then(Value::as_bool),
+                                Some(true),
+                                "submission rejected: {frame}"
+                            );
+                            continue;
+                        }
+                        assert_eq!(
+                            frame.get("status").and_then(Value::as_str),
+                            Some("key_found"),
+                            "{frame}"
+                        );
+                        assert_eq!(
+                            frame.get("key").and_then(Value::as_str),
+                            Some(good.as_str()),
+                            "{frame}"
+                        );
+                        reports += 1;
+                    }
+                });
+            }
+        });
+        report.record("info_serve_smoke_s", t.elapsed().as_secs_f64(), false);
+
+        control.send(&Value::object([("op", Value::from("metrics"))]));
+        let scraped = control.recv();
+        let server_report =
+            MetricReport::from_json(&scraped.get("metrics").expect("metrics member").to_string())
+                .expect("serve /metrics must be MetricReport-compatible JSON");
+        let sample = |name: &str| {
+            server_report
+                .metrics
+                .get(name)
+                .unwrap_or_else(|| panic!("serve /metrics misses {name}"))
+                .value
+        };
+        let total = (CLIENTS * JOBS_PER_CLIENT) as f64;
+        assert_eq!(sample("serve_jobs_completed"), total);
+        assert_eq!(sample("serve_jobs_key_found"), total);
+        assert_eq!(sample("serve_jobs_busy"), 0.0);
+        report.record(
+            "serve_8c_jobs_completed",
+            sample("serve_jobs_completed"),
+            false,
+        );
+        report.record(
+            "serve_8c_jobs_key_found",
+            sample("serve_jobs_key_found"),
+            false,
+        );
+        report.record("serve_8c_jobs_busy", sample("serve_jobs_busy"), false);
+        report.record("serve_8c_sessions", sample("serve_sessions_created"), false);
+        report.record("serve_8c_p50_s", sample("serve_latency_p50_s"), false);
+        report.record("serve_8c_p99_s", sample("serve_latency_p99_s"), false);
+        report.record("info_serve_sat_solves", sample("sat_solves"), false);
+    }
+
     report
+}
+
+/// A minimal blocking wire client for the serve smoke section.
+struct ServeClient {
+    writer: std::net::TcpStream,
+    reader: netshim::LineReader<std::net::TcpStream>,
+}
+
+impl ServeClient {
+    fn connect(addr: std::net::SocketAddr) -> ServeClient {
+        let stream = std::net::TcpStream::connect(addr).expect("connect to fall-serve");
+        let writer = stream.try_clone().expect("clone stream");
+        ServeClient {
+            writer,
+            reader: netshim::LineReader::new(stream, 4 << 20),
+        }
+    }
+
+    fn send(&mut self, value: &Value) {
+        netshim::write_line(&mut self.writer, &value.to_string()).expect("send frame");
+    }
+
+    fn recv(&mut self) -> Value {
+        let line = self
+            .reader
+            .read_line()
+            .expect("read frame")
+            .expect("server closed the connection");
+        Value::parse(&line).expect("frame is valid JSON")
+    }
 }
 
 /// Deterministic stimulus generator for the throughput section: the bench

@@ -1,0 +1,457 @@
+//! A minimal JSON document type: strict parsing, deterministic printing.
+//!
+//! [`Value`] plays the role `serde_json::Value` plays in an online build.
+//! Objects preserve no duplicate keys (the last wins, as in every mainstream
+//! JSON library) and serialise in insertion order, so a message built
+//! programmatically round-trips byte-for-byte — which keeps protocol tests
+//! simple and lets golden strings live in documentation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 are exact).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.  Keys are sorted (`BTreeMap`), so serialisation is
+    /// deterministic regardless of construction order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number with an exact
+    /// `u64` representation.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Member lookup: `Some(&value)` when `self` is an object containing
+    /// `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|map| map.get(key))
+    }
+
+    /// Parses a JSON document.  The whole input must be one value (trailing
+    /// non-whitespace is an error), nesting depth is bounded, and only valid
+    /// escapes are accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut parser = Parser {
+            rest: text,
+            depth: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.rest.is_empty() {
+            Ok(value)
+        } else {
+            Err(format!("trailing content at {:?}", parser.context()))
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Serialises the document compactly (no added whitespace, no newlines),
+    /// so one `Value` is always one protocol line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Maximum nesting depth accepted by the parser: deep enough for any real
+/// protocol message, shallow enough that hostile input cannot overflow the
+/// stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'t> {
+    rest: &'t str,
+    depth: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start_matches([' ', '\t', '\n', '\r']);
+    }
+
+    fn context(&self) -> String {
+        self.rest.chars().take(24).collect()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.rest.strip_prefix(c) {
+            Some(rest) => {
+                self.rest = rest;
+                Ok(())
+            }
+            None => Err(format!("expected {c:?} at {:?}", self.context())),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        if self.depth >= MAX_DEPTH {
+            return Err("nesting too deep".to_string());
+        }
+        match self.rest.chars().next() {
+            None => Err("unexpected end of input".to_string()),
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::String(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(format!("unexpected character at {:?}", self.context())),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        match self.rest.strip_prefix(word) {
+            Some(rest) => {
+                self.rest = rest;
+                Ok(value)
+            }
+            None => Err(format!("expected {word:?} at {:?}", self.context())),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        self.depth += 1;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.rest.starts_with('}') {
+            self.rest = &self.rest[1..];
+            self.depth -= 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            if self.rest.starts_with(',') {
+                self.rest = &self.rest[1..];
+            } else {
+                self.expect('}')?;
+                self.depth -= 1;
+                return Ok(Value::Object(map));
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.rest.starts_with(']') {
+            self.rest = &self.rest[1..];
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.rest.starts_with(',') {
+                self.rest = &self.rest[1..];
+            } else {
+                self.expect(']')?;
+                self.depth -= 1;
+                return Ok(Value::Array(items));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars
+                                .next()
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            code = code * 16
+                                + h.to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {h:?} in \\u escape"))?;
+                        }
+                        // Surrogates (and only surrogates) are not valid
+                        // `char`s; map them to the replacement character
+                        // rather than rejecting the whole document.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    Some((_, other)) => return Err(format!("invalid escape \\{other}")),
+                    None => break,
+                },
+                c if (c as u32) < 0x20 => return Err("raw control character in string".to_string()),
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let end = self
+            .rest
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(self.rest.len());
+        let (token, rest) = self.rest.split_at(end);
+        let value: f64 = token
+            .parse()
+            .map_err(|_| format!("invalid number {token:?}"))?;
+        if !value.is_finite() {
+            return Err(format!("non-finite number {token:?}"));
+        }
+        self.rest = rest;
+        Ok(Value::Number(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_shape() {
+        let doc = Value::object([
+            ("null", Value::Null),
+            ("yes", Value::Bool(true)),
+            ("n", Value::Number(42.0)),
+            ("frac", Value::Number(1.5)),
+            ("s", Value::from("line\n\"quoted\"\\slash")),
+            (
+                "arr",
+                Value::Array(vec![Value::Number(1.0), Value::from("two"), Value::Null]),
+            ),
+            ("obj", Value::object([("k", Value::from(3u64))])),
+        ]);
+        let text = doc.to_string();
+        assert!(!text.contains('\n'), "one value is one line: {text:?}");
+        assert_eq!(Value::parse(&text).expect("round trip"), doc);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let doc = Value::parse(" { \"a\" : [ 1 , \"\\u0041\\t\" ] } ").expect("parse");
+        assert_eq!(
+            doc.get("a").and_then(|a| a.as_array()).map(|a| a.len()),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[1].as_str(),
+            Some("A\t")
+        );
+    }
+
+    #[test]
+    fn accessors_discriminate() {
+        let doc = Value::parse("{\"n\": 7, \"s\": \"x\", \"b\": false}").expect("parse");
+        assert_eq!(doc.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(doc.get("n").unwrap().as_f64(), Some(7.0));
+        assert_eq!(doc.get("n").unwrap().as_str(), None);
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(doc.get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "1 2",
+            "{\"a\":1} trailing",
+            "\"raw\u{1}control\"",
+            "nan",
+            "1e999",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_hostile_nesting() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Value::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let doc = Value::parse("{\"a\": 1, \"a\": 2}").expect("parse");
+        assert_eq!(doc.get("a").unwrap().as_u64(), Some(2));
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for the networking/serialisation stack used by
+//! `fall-serve`.
+//!
+//! The build environment has no access to crates.io, so the pieces a network
+//! service would normally pull in — `serde_json` for message bodies and an
+//! async framework (or at least a framing codec) for the transport — are
+//! vendored here as the minimal subsets the workspace actually needs:
+//!
+//! * [`json::Value`] — a dynamically-typed JSON document with a strict
+//!   parser and a deterministic serialiser.  It covers the full JSON data
+//!   model (null, booleans, numbers, strings with escapes, arrays, objects)
+//!   but none of serde's derive machinery: protocol types in `fall-serve`
+//!   convert to and from `Value` by hand.
+//! * [`mod@line`] — size-capped line-delimited framing over any
+//!   [`std::io::Read`]/[`std::io::Write`] transport.  One frame is one UTF-8
+//!   line; a reader enforces a maximum frame length so a malicious or broken
+//!   peer cannot make the server buffer unbounded input.
+//!
+//! The shim is transport-agnostic on purpose: the same framing runs over
+//! [`std::net::TcpStream`] in production, over in-memory pipes in tests, and
+//! could run over OS pipes for the planned multi-process engine.  Blocking
+//! I/O plus a thread per connection is entirely adequate for the session
+//! server's concurrency level and keeps the code free of an async runtime.
+
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod line;
+
+pub use json::Value;
+pub use line::{write_line, LineError, LineReader};

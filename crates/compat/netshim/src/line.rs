@@ -1,0 +1,230 @@
+//! Size-capped line-delimited framing.
+//!
+//! One frame is one UTF-8 line terminated by `\n` (a trailing `\r` is
+//! stripped, so telnet-style peers work).  The reader owns its buffer and
+//! enforces a maximum frame length: a peer that streams an endless line — by
+//! malice or by accident — produces a clean [`LineError::Oversized`] instead
+//! of unbounded buffering, which is what lets `fall-serve` answer such a
+//! connection with a typed error and close it.
+
+use std::io::{self, Read, Write};
+
+/// Errors produced by [`LineReader::read_line`].
+#[derive(Debug)]
+pub enum LineError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// A frame exceeded the reader's configured maximum length.  The
+    /// connection is no longer framed correctly and should be closed after
+    /// reporting the error.
+    Oversized {
+        /// The configured maximum frame length in bytes.
+        limit: usize,
+    },
+    /// A complete frame was read but is not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineError::Io(error) => write!(f, "transport error: {error}"),
+            LineError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            LineError::InvalidUtf8 => write!(f, "frame is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for LineError {}
+
+impl From<io::Error> for LineError {
+    fn from(error: io::Error) -> LineError {
+        LineError::Io(error)
+    }
+}
+
+/// A buffered frame reader over any byte transport.
+pub struct LineReader<R> {
+    inner: R,
+    /// Bytes read from the transport but not yet returned as frames.
+    buffer: Vec<u8>,
+    /// Start of unconsumed data within `buffer`.
+    start: usize,
+    max_frame: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps a transport, capping frames at `max_frame` bytes (terminator
+    /// excluded).
+    pub fn new(inner: R, max_frame: usize) -> LineReader<R> {
+        LineReader {
+            inner,
+            buffer: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Reads the next frame.
+    ///
+    /// Returns `Ok(None)` at a clean end of stream.  A final unterminated
+    /// frame (data followed by EOF without `\n`) is returned as a frame, so
+    /// piped input without a trailing newline still parses.
+    ///
+    /// # Errors
+    ///
+    /// [`LineError::Oversized`] once more than the configured maximum is
+    /// buffered without a terminator — after this the stream is desynchronised
+    /// and should be closed.  [`LineError::InvalidUtf8`] for a non-UTF-8
+    /// frame; the stream itself is still framed correctly, so a server may
+    /// report it and continue.
+    pub fn read_line(&mut self) -> Result<Option<String>, LineError> {
+        loop {
+            if let Some(offset) = self.buffer[self.start..].iter().position(|&b| b == b'\n') {
+                let line_end = self.start + offset;
+                let frame = self.take_frame(line_end, line_end + 1);
+                return frame.map(Some);
+            }
+            let pending = self.buffer.len() - self.start;
+            if pending > self.max_frame {
+                return Err(LineError::Oversized {
+                    limit: self.max_frame,
+                });
+            }
+            // Compact (drop consumed bytes) before growing the buffer.
+            if self.start > 0 {
+                self.buffer.drain(..self.start);
+                self.start = 0;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.inner.read(&mut chunk)?;
+            if n == 0 {
+                if pending == 0 {
+                    return Ok(None);
+                }
+                let line_end = self.buffer.len();
+                let frame = self.take_frame(line_end, line_end);
+                return frame.map(Some);
+            }
+            self.buffer.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Cuts `buffer[start..line_end]` out as a frame (stripping one trailing
+    /// `\r`) and advances the cursor to `next_start`.
+    fn take_frame(&mut self, line_end: usize, next_start: usize) -> Result<String, LineError> {
+        let mut end = line_end;
+        if end > self.start && self.buffer[end - 1] == b'\r' {
+            end -= 1;
+        }
+        if end - self.start > self.max_frame {
+            return Err(LineError::Oversized {
+                limit: self.max_frame,
+            });
+        }
+        let frame = std::str::from_utf8(&self.buffer[self.start..end])
+            .map(str::to_string)
+            .map_err(|_| LineError::InvalidUtf8);
+        // Consume the frame even when it is not UTF-8: the stream is still
+        // framed correctly, so the next call must see the *next* line.
+        self.start = next_start;
+        frame
+    }
+}
+
+/// Writes one frame: the line, a `\n` terminator, and a flush (protocol
+/// messages must not sit in a buffer while the peer waits).
+///
+/// # Panics
+///
+/// Panics if `line` contains a newline — that would silently split one
+/// message into two frames.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    assert!(
+        !line.contains('\n'),
+        "a frame must be a single line; serialise messages compactly"
+    );
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_split_on_newlines() {
+        let data = b"first\nsecond\r\nthird".to_vec();
+        let mut reader = LineReader::new(&data[..], 1024);
+        assert_eq!(reader.read_line().expect("first"), Some("first".into()));
+        assert_eq!(reader.read_line().expect("second"), Some("second".into()));
+        assert_eq!(
+            reader.read_line().expect("unterminated tail"),
+            Some("third".into())
+        );
+        assert_eq!(reader.read_line().expect("eof"), None);
+        assert_eq!(reader.read_line().expect("eof is sticky"), None);
+    }
+
+    #[test]
+    fn empty_lines_are_frames() {
+        let data = b"\n\nx\n".to_vec();
+        let mut reader = LineReader::new(&data[..], 16);
+        assert_eq!(reader.read_line().expect("1"), Some(String::new()));
+        assert_eq!(reader.read_line().expect("2"), Some(String::new()));
+        assert_eq!(reader.read_line().expect("3"), Some("x".into()));
+        assert_eq!(reader.read_line().expect("eof"), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let data = vec![b'a'; 10_000];
+        let mut reader = LineReader::new(&data[..], 64);
+        assert!(matches!(
+            reader.read_line(),
+            Err(LineError::Oversized { limit: 64 })
+        ));
+    }
+
+    #[test]
+    fn oversized_terminated_frames_are_rejected_too() {
+        // A line that fits in one 4096-byte read chunk but exceeds the cap
+        // must still be rejected.
+        let mut data = vec![b'a'; 100];
+        data.push(b'\n');
+        let mut reader = LineReader::new(&data[..], 64);
+        assert!(matches!(
+            reader.read_line(),
+            Err(LineError::Oversized { limit: 64 })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_reported_and_skipped() {
+        let data = b"\xff\xfe\nok\n".to_vec();
+        let mut reader = LineReader::new(&data[..], 64);
+        assert!(matches!(reader.read_line(), Err(LineError::InvalidUtf8)));
+        assert_eq!(reader.read_line().expect("next"), Some("ok".into()));
+    }
+
+    #[test]
+    fn write_line_appends_terminator() {
+        let mut out = Vec::new();
+        write_line(&mut out, "hello").expect("write");
+        assert_eq!(out, b"hello\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "single line")]
+    fn write_line_rejects_embedded_newlines() {
+        let mut out = Vec::new();
+        let _ = write_line(&mut out, "two\nframes");
+    }
+}

@@ -50,6 +50,14 @@ pub struct FallAttackConfig {
     pub stop_after_first_key: bool,
     /// Budgets for the optional key-confirmation stage.
     pub confirmation: KeyConfirmationConfig,
+    /// External cancellation flag, installed into every [`AttackSession`] the
+    /// attack creates (see [`crate::session::AttackSession::set_interrupt`]).
+    /// Once it flips to `true`, in-flight solves return at their next check
+    /// point, the remaining analysis tasks are skipped, and the attack
+    /// returns with whatever it had (typically [`FallStatus::NoKeysFound`] or
+    /// [`FallStatus::ConfirmationFailed`]).  Used by [`crate::service`] to
+    /// enforce per-job deadlines.
+    pub interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl FallAttackConfig {
@@ -63,6 +71,7 @@ impl FallAttackConfig {
             analysis_workers: 1,
             stop_after_first_key: false,
             confirmation: KeyConfirmationConfig::default(),
+            interrupt: None,
         }
     }
 }
@@ -213,6 +222,7 @@ pub fn fall_attack(
     // encodings, the input-difference vector and the popcount network are all
     // built once and shared.
     let mut session = AttackSession::new(locked);
+    session.set_interrupt(config.interrupt.clone());
     let analyses = config
         .analyses
         .clone()
@@ -235,6 +245,9 @@ pub fn fall_attack(
         let mut functional_time = Duration::ZERO;
         let mut equivalence_time = Duration::ZERO;
         for &(candidate, analysis) in &tasks {
+            if externally_interrupted(config) {
+                break;
+            }
             let outcome = run_task(
                 &mut session,
                 locked,
@@ -261,7 +274,25 @@ pub fn fall_attack(
         let functional_nanos = AtomicU64::new(0);
         let equivalence_nanos = AtomicU64::new(0);
         let merged = Mutex::new(PrefilterStats::default());
+        let live_workers = AtomicUsize::new(workers);
         std::thread::scope(|scope| {
+            if let Some(flag) = config.interrupt.clone() {
+                // Bridge the external interrupt into the pool's shared token
+                // so a deadline stops workers mid-solve, not merely between
+                // tasks.  The watcher exits as soon as the pool drains or the
+                // token fires for any reason (e.g. first-winner mode).
+                let cancel = cancel.clone();
+                let live_workers = &live_workers;
+                scope.spawn(move || {
+                    while live_workers.load(Ordering::Relaxed) > 0 && !cancel.is_cancelled() {
+                        if flag.load(Ordering::Relaxed) {
+                            cancel.cancel();
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                });
+            }
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut session = AttackSession::new(locked);
@@ -299,6 +330,7 @@ pub fn fall_attack(
                     }
                     let stats = session.prefilter_stats();
                     merged.lock().expect("stats lock").merge(&stats);
+                    live_workers.fetch_sub(1, Ordering::Relaxed);
                 });
             }
         });
@@ -355,6 +387,14 @@ pub fn fall_attack(
             }
         },
     }
+}
+
+/// Returns `true` once the configured external interrupt flag has fired.
+fn externally_interrupted(config: &FallAttackConfig) -> bool {
+    config
+        .interrupt
+        .as_ref()
+        .is_some_and(|flag| flag.load(Ordering::Relaxed))
 }
 
 fn run_analysis(

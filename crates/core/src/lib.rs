@@ -18,7 +18,7 @@
 //!    correct key (or ⊥), even on SAT-attack-resilient circuits.
 //!
 //! The classic oracle-guided SAT attack (Subramanyan et al., HOST 2015) is
-//! implemented in [`sat_attack`] as the baseline the paper compares against,
+//! implemented in [`mod@sat_attack`] as the baseline the paper compares against,
 //! and [`attack::fall_attack`] wires all stages together (Figure 4).
 //!
 //! All SAT interaction runs through one persistent [`session::AttackSession`]
@@ -31,6 +31,12 @@
 //! partitioning on a worker pool ([`parallel::parallel_partitioned_key_search`],
 //! one session per worker, shared deduplicating oracle cache, first-winner
 //! cancellation) and solver portfolios ([`parallel::portfolio_sat_attack`]).
+//! The [`service`] module packages long-lived sessions as a multi-tenant
+//! pool ([`service::AttackService`]): registered targets own worker threads
+//! with primed sessions that persist across jobs and clients, behind bounded
+//! admission queues, client-fair round-robin scheduling, per-job
+//! timeout/cancellation and an aggregated metrics surface — the engine
+//! behind the `fall-serve` TCP server.
 //!
 //! # Example: break SFLL-HD without an oracle
 //!
@@ -60,6 +66,7 @@ pub mod key_confirmation;
 pub mod oracle;
 pub mod parallel;
 pub mod sat_attack;
+pub mod service;
 pub mod session;
 pub mod structural;
 pub mod unlock;

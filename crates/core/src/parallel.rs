@@ -86,6 +86,16 @@ impl CancelToken {
 /// Number of independently-locked shards in a [`CachingOracle`].
 const ORACLE_SHARDS: usize = 16;
 
+/// How a [`CachingOracle`] holds the oracle it deduplicates.
+enum OracleRef<'o> {
+    /// Borrowed for the duration of one attack run (the worker-pool case:
+    /// the oracle outlives the scoped threads).
+    Borrowed(&'o (dyn Oracle + Sync)),
+    /// Shared ownership, for long-lived holders like the session server's
+    /// target pool where no enclosing scope outlives the cache.
+    Owned(Arc<dyn Oracle + Send + Sync>),
+}
+
 /// A thread-safe, deduplicating adapter around an I/O oracle.
 ///
 /// Queries are memoized in a map sharded by input-pattern hash, so workers
@@ -94,20 +104,43 @@ const ORACLE_SHARDS: usize = 16;
 /// pattern reaches the real oracle exactly once no matter how many workers
 /// ask for it concurrently.
 pub struct CachingOracle<'o> {
-    inner: &'o (dyn Oracle + Sync),
+    inner: OracleRef<'o>,
     shards: [Mutex<HashMap<Vec<bool>, Vec<bool>>>; ORACLE_SHARDS],
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
 
 impl<'o> CachingOracle<'o> {
-    /// Wraps an oracle in a fresh (empty) shared cache.
+    /// Wraps a borrowed oracle in a fresh (empty) shared cache.
     pub fn new(inner: &'o (dyn Oracle + Sync)) -> CachingOracle<'o> {
         CachingOracle {
-            inner,
+            inner: OracleRef::Borrowed(inner),
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Wraps a shared (reference-counted) oracle in a fresh cache.
+    ///
+    /// The resulting `CachingOracle<'static>` owns its oracle, so it can live
+    /// in long-running structures — the session server keeps one per
+    /// registered target so every job against that target deduplicates
+    /// through the same cache — instead of being scoped to one attack run.
+    pub fn shared(inner: Arc<dyn Oracle + Send + Sync>) -> CachingOracle<'static> {
+        CachingOracle {
+            inner: OracleRef::Owned(inner),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped oracle, whichever way it is held.
+    fn inner(&self) -> &(dyn Oracle + Sync) {
+        match &self.inner {
+            OracleRef::Borrowed(oracle) => *oracle,
+            OracleRef::Owned(oracle) => oracle.as_ref(),
         }
     }
 
@@ -136,7 +169,7 @@ impl Oracle for CachingOracle<'_> {
             return outputs.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let outputs = self.inner.query(inputs);
+        let outputs = self.inner().query(inputs);
         shard.insert(inputs.to_vec(), outputs.clone());
         outputs
     }
@@ -172,11 +205,11 @@ impl Oracle for CachingOracle<'_> {
     }
 
     fn num_inputs(&self) -> usize {
-        self.inner.num_inputs()
+        self.inner().num_inputs()
     }
 
     fn num_outputs(&self) -> usize {
-        self.inner.num_outputs()
+        self.inner().num_outputs()
     }
 }
 

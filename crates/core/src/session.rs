@@ -118,7 +118,7 @@ struct ConeParts {
 /// One persistent solver and its cached encodings for a whole attack run.
 ///
 /// See the [module documentation](self) for the design; see
-/// [`crate::sat_attack::sat_attack`], [`crate::key_confirmation`],
+/// [`crate::sat_attack::sat_attack`], [`mod@crate::key_confirmation`],
 /// [`crate::equivalence`] and [`crate::functional`] for the attacks that run
 /// through it.
 pub struct AttackSession<'n> {

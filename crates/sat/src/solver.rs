@@ -59,6 +59,27 @@ pub struct SolverStats {
     pub recycled_vars: u64,
 }
 
+impl SolverStats {
+    /// Accumulates another snapshot into this one, field by field.
+    ///
+    /// This is how a pool of long-lived solver instances (one per worker
+    /// session) is reported as a single aggregate: monotone counters sum
+    /// into pool totals, and the point-in-time gauges (`learnt_clauses`,
+    /// `arena_bytes`, `wasted_bytes`) sum into the pool's current footprint.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.solves += other.solves;
+        self.arena_bytes += other.arena_bytes;
+        self.wasted_bytes += other.wasted_bytes;
+        self.gc_runs += other.gc_runs;
+        self.recycled_vars += other.recycled_vars;
+    }
+}
+
 /// Tunable search parameters of a [`Solver`].
 ///
 /// The defaults reproduce the solver's historical behaviour; alternative
@@ -67,19 +88,42 @@ pub struct SolverStats {
 /// and the first winner is taken (see [`SolverConfig::portfolio`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolverConfig {
-    /// VSIDS variable-activity decay factor (0 < decay < 1).
+    /// VSIDS variable-activity decay factor (0 < decay < 1, default 0.95).
+    ///
+    /// Closer to 1 gives older conflicts a longer-lived vote in branching
+    /// (steadier focus, slower to refocus after the instance changes under
+    /// incremental use); lower values make branching chase the most recent
+    /// conflicts aggressively.
     pub var_decay: f64,
-    /// Learnt-clause activity decay factor (0 < decay < 1).
+    /// Learnt-clause activity decay factor (0 < decay < 1, default 0.999).
+    ///
+    /// Governs which learnt clauses survive database reduction: higher
+    /// values judge clauses over a longer window of usefulness, lower
+    /// values evict anything not used very recently.
     pub cla_decay: f64,
-    /// Base conflict budget of the Luby restart sequence.
+    /// Base conflict budget of the Luby restart sequence (default 100).
+    ///
+    /// Every restart budget is this value times the next Luby multiplier.
+    /// Smaller bases restart aggressively (good on shuffled/adversarial
+    /// instances, and a cheap source of portfolio diversity); larger bases
+    /// let each probe run deeper before abandoning its decision prefix.
     pub restart_base: u64,
-    /// Initial saved phase of fresh variables (phase saving overwrites it as
-    /// the search proceeds).
+    /// Initial saved phase of fresh variables (default `false`; phase saving
+    /// overwrites it as the search proceeds).
+    ///
+    /// Flipping it steers the first descent toward the all-true corner
+    /// instead — one of the cheapest ways to decorrelate portfolio members.
     pub default_phase: bool,
     /// Probability of replacing an activity-driven branching decision with a
-    /// seeded pseudo-random one (0 disables random branching).
+    /// seeded pseudo-random one (0 disables random branching, the default).
+    ///
+    /// A few percent of random decisions breaks the determinism of pure
+    /// VSIDS ties and diversifies portfolio members; large values degrade
+    /// into random search.
     pub random_branch_freq: f64,
-    /// Seed of the xorshift generator behind random branching.
+    /// Seed of the xorshift generator behind random branching.  Two
+    /// configurations differing only in seed explore decorrelated decision
+    /// sequences when `random_branch_freq > 0`.
     pub seed: u64,
     /// Fraction of the clause arena that may be wasted (tombstoned) before a
     /// garbage collection compacts it.  `0.0` forces a GC at every check

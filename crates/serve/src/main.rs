@@ -1,0 +1,76 @@
+//! The `fall-serve` binary: bind, print the address, serve until a wire
+//! `shutdown` request arrives.
+//!
+//! ```text
+//! fall-serve [--addr HOST:PORT] [--queue-capacity N] [--workers N]
+//!            [--max-targets N] [--timeout-ms N] [--max-frame BYTES]
+//!            [--no-remote-shutdown]
+//! ```
+
+use std::time::Duration;
+
+use fall_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fall-serve [--addr HOST:PORT] [--queue-capacity N] [--workers N] \
+         [--max-targets N] [--timeout-ms N] [--max-frame BYTES] [--no-remote-shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(text) = args.next() else {
+        eprintln!("fall-serve: {flag} requires a value");
+        usage();
+    };
+    let Ok(value) = text.parse() else {
+        eprintln!("fall-serve: invalid value {text:?} for {flag}");
+        usage();
+    };
+    value
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7441".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => config.addr = parse_value(&mut args, "--addr"),
+            "--queue-capacity" => {
+                config.service.queue_capacity = parse_value(&mut args, "--queue-capacity");
+            }
+            "--workers" => {
+                config.service.workers_per_target = parse_value(&mut args, "--workers");
+            }
+            "--max-targets" => {
+                config.service.max_targets = parse_value(&mut args, "--max-targets");
+            }
+            "--timeout-ms" => {
+                config.service.default_timeout =
+                    Duration::from_millis(parse_value(&mut args, "--timeout-ms"));
+            }
+            "--max-frame" => config.max_frame = parse_value(&mut args, "--max-frame"),
+            "--no-remote-shutdown" => config.allow_remote_shutdown = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("fall-serve: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    match Server::start(config) {
+        Ok(server) => {
+            println!("fall-serve listening on {}", server.local_addr());
+            server.wait();
+        }
+        Err(error) => {
+            eprintln!("fall-serve: failed to start: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Wire-protocol encoding and decoding.
+//!
+//! One request or response is one JSON object on one line (see
+//! `docs/PROTOCOL.md` for the full specification).  This module converts
+//! between [`netshim::Value`] documents and the typed requests/responses the
+//! server core works with; it performs no I/O.
+
+use fall::service::{JobReport, MetricSample, TargetInfo};
+use locking::Key;
+use netshim::Value;
+
+/// Protocol revision reported by `hello`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Machine-readable error codes of the `error` field in failure responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not valid JSON.
+    ParseError,
+    /// The frame was valid JSON but not a valid request for the operation.
+    BadRequest,
+    /// The `op` field named no known operation.
+    UnknownOp,
+    /// The addressed target is not registered.
+    UnknownTarget,
+    /// The target's job queue is full; retry later.
+    Busy,
+    /// The target pool is at capacity.
+    PoolFull,
+    /// A shipped netlist failed to parse or is unusable.
+    BadNetlist,
+    /// A frame exceeded the server's size limit; the connection closes.
+    Oversized,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The stable wire name of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::UnknownTarget => "unknown_target",
+            ErrorCode::Busy => "busy",
+            ErrorCode::PoolFull => "pool_full",
+            ErrorCode::BadNetlist => "bad_netlist",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A request id as it appeared on the wire: requests may omit it, and
+/// responses echo it only when present.
+pub type RequestId = Option<u64>;
+
+/// Renders a key as the wire bitstring (`"0101"`, character `i` = key input
+/// `i`).
+pub fn key_to_wire(key: &Key) -> String {
+    key.bits()
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect()
+}
+
+/// Parses a wire bitstring into a key.
+pub fn key_from_wire(text: &str) -> Result<Key, String> {
+    let mut bits = Vec::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '0' => bits.push(false),
+            '1' => bits.push(true),
+            other => return Err(format!("invalid key character {other:?}")),
+        }
+    }
+    if bits.is_empty() {
+        return Err("empty key bitstring".into());
+    }
+    Ok(Key::new(bits))
+}
+
+/// Starts a response object, echoing the request id when present.
+fn base(ok: bool, id: RequestId) -> Vec<(String, Value)> {
+    let mut fields = vec![("ok".to_string(), Value::from(ok))];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Value::from(id)));
+    }
+    fields
+}
+
+/// Serialises a response object to one frame.
+fn frame(fields: Vec<(String, Value)>) -> String {
+    Value::object(fields).to_string()
+}
+
+/// An error response.
+pub fn error_frame(id: RequestId, code: ErrorCode, message: &str) -> String {
+    let mut fields = base(false, id);
+    fields.push(("error".to_string(), Value::from(code.as_str())));
+    fields.push(("message".to_string(), Value::from(message)));
+    frame(fields)
+}
+
+/// A `busy` response carrying the queue occupancy, so clients can implement
+/// informed backoff.
+pub fn busy_frame(id: RequestId, queued: usize, capacity: usize) -> String {
+    let mut fields = base(false, id);
+    fields.push(("error".to_string(), Value::from(ErrorCode::Busy.as_str())));
+    fields.push((
+        "message".to_string(),
+        Value::from(format!("queue full ({queued}/{capacity}); retry later")),
+    ));
+    fields.push(("queued".to_string(), Value::from(queued)));
+    fields.push(("capacity".to_string(), Value::from(capacity)));
+    frame(fields)
+}
+
+/// The `hello` response.
+pub fn hello_frame(id: RequestId, targets: &[TargetInfo]) -> String {
+    let mut fields = base(true, id);
+    fields.push(("server".to_string(), Value::from("fall-serve")));
+    fields.push(("protocol".to_string(), Value::from(PROTOCOL_VERSION)));
+    fields.push((
+        "targets".to_string(),
+        Value::Array(
+            targets
+                .iter()
+                .map(|t| Value::from(t.name.as_str()))
+                .collect(),
+        ),
+    ));
+    frame(fields)
+}
+
+/// A successful `register` response; `existing` is `true` when the target
+/// was already registered (registration is idempotent by name).
+pub fn register_frame(id: RequestId, info: &TargetInfo, existing: bool) -> String {
+    let mut fields = base(true, id);
+    fields.push(("existing".to_string(), Value::from(existing)));
+    fields.push(("target".to_string(), target_value(info)));
+    frame(fields)
+}
+
+fn target_value(info: &TargetInfo) -> Value {
+    Value::object([
+        ("name", Value::from(info.name.as_str())),
+        ("scheme", Value::from(info.scheme.as_str())),
+        ("inputs", Value::from(info.inputs)),
+        ("outputs", Value::from(info.outputs)),
+        ("key_width", Value::from(info.key_width)),
+        ("workers", Value::from(info.workers)),
+    ])
+}
+
+/// The immediate acknowledgement of an accepted `attack` request.
+pub fn job_accepted_frame(id: RequestId, job_id: u64) -> String {
+    let mut fields = base(true, id);
+    fields.push(("job".to_string(), Value::from(job_id)));
+    frame(fields)
+}
+
+/// The asynchronous completion event for a job.  `id` is the id of the
+/// originating `attack` request, when it had one.
+pub fn job_event_frame(id: RequestId, report: &JobReport) -> String {
+    let mut fields = vec![("event".to_string(), Value::from("job"))];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Value::from(id)));
+    }
+    fields.push(("job".to_string(), Value::from(report.job_id)));
+    fields.push(("status".to_string(), Value::from(report.status.as_str())));
+    fields.push((
+        "key".to_string(),
+        match &report.key {
+            Some(key) => Value::from(key_to_wire(key)),
+            None => Value::Null,
+        },
+    ));
+    if !report.shortlist.is_empty() {
+        fields.push((
+            "shortlist".to_string(),
+            Value::Array(
+                report
+                    .shortlist
+                    .iter()
+                    .map(|key| Value::from(key_to_wire(key)))
+                    .collect(),
+            ),
+        ));
+    }
+    fields.push(("iterations".to_string(), Value::from(report.iterations)));
+    fields.push((
+        "oracle_queries".to_string(),
+        Value::from(report.oracle_queries),
+    ));
+    fields.push((
+        "queued_ms".to_string(),
+        Value::from(report.queued.as_secs_f64() * 1e3),
+    ));
+    fields.push((
+        "elapsed_ms".to_string(),
+        Value::from(report.elapsed.as_secs_f64() * 1e3),
+    ));
+    frame(fields)
+}
+
+/// The `metrics` response.  The `metrics` member is exactly the JSON dialect
+/// of `fall-bench`'s `MetricReport`, so offline tooling can parse it
+/// directly.
+pub fn metrics_frame(id: RequestId, samples: &[MetricSample]) -> String {
+    let mut fields = base(true, id);
+    fields.push((
+        "metrics".to_string(),
+        Value::object(samples.iter().map(|sample| {
+            (
+                sample.name.clone(),
+                Value::object([
+                    ("value", Value::from(sample.value)),
+                    ("higher_is_better", Value::from(sample.higher_is_better)),
+                ]),
+            )
+        })),
+    ));
+    frame(fields)
+}
+
+/// A bare `{"ok":true}` acknowledgement (e.g. for `shutdown`).
+pub fn ok_frame(id: RequestId) -> String {
+    frame(base(true, id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip_through_the_wire_encoding() {
+        let key = Key::new(vec![false, true, true, false, true]);
+        let wire = key_to_wire(&key);
+        assert_eq!(wire, "01101");
+        assert_eq!(key_from_wire(&wire).expect("parse"), key);
+        assert!(key_from_wire("01x1").is_err());
+        assert!(key_from_wire("").is_err());
+    }
+
+    #[test]
+    fn frames_are_single_lines() {
+        let frames = [
+            error_frame(Some(7), ErrorCode::BadRequest, "nope"),
+            busy_frame(None, 3, 4),
+            ok_frame(Some(1)),
+        ];
+        for frame in frames {
+            assert!(!frame.contains('\n'), "{frame}");
+            let value = Value::parse(&frame).expect("valid JSON");
+            assert!(value.get("ok").is_some());
+        }
+    }
+
+    #[test]
+    fn error_frames_carry_code_and_echoed_id() {
+        let frame = error_frame(Some(42), ErrorCode::UnknownTarget, "no such target");
+        let value = Value::parse(&frame).expect("valid JSON");
+        assert_eq!(value.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(value.get("id").and_then(Value::as_u64), Some(42));
+        assert_eq!(
+            value.get("error").and_then(Value::as_str),
+            Some("unknown_target")
+        );
+    }
+}
