@@ -5,8 +5,10 @@
 #   --quick        skip the release build (format/lint/test only)
 #   --bench-smoke  run ONLY the benchmark smoke suite: build the bench
 #                  harness in release mode, run the trimmed parallel-engine
-#                  workloads, write BENCH_parallel.json, and fail if any
-#                  tracked metric regresses >20% against the checked-in
+#                  workloads plus a pipes-mode fall-dist farm smoke (clean
+#                  2-worker run and a crash-requeue run, gating the
+#                  dist_* counters), write BENCH_parallel.json, and fail if
+#                  any tracked metric regresses >20% against the checked-in
 #                  baseline (crates/bench/baseline/BENCH_parallel.json).
 #                  Regenerate the baseline with:
 #                    cargo run --release -p fall-bench --bin bench_smoke -- --write-baseline
@@ -81,5 +83,13 @@ cargo test -q --test gc_differential
 # attributed to the wide-sim machinery.
 echo "==> cargo test -q --test wide_sim"
 cargo test -q --test wide_sim
+
+# The distributed-farm correctness story: pipes and TCP farms recover the
+# serial key with bounded cross-process oracle traffic, a SIGKILLed or hung
+# worker's lease requeues and a survivor finishes, and drain-all counters
+# reproduce exactly. Also part of the workspace run; re-run explicitly so a
+# failure is attributed to the fall-dist supervisor/worker machinery.
+echo "==> cargo test -q -p fall-dist --test farm"
+cargo test -q -p fall-dist --test farm
 
 echo "CI OK"

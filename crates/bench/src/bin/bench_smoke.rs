@@ -580,6 +580,77 @@ fn measure() -> MetricReport {
         report.record("info_serve_sat_solves", sample("sat_solves"), false);
     }
 
+    // ---- fall-dist: multi-process farm smoke ------------------------------
+    // A 2-worker pipes farm over stdin/stdout (workers are re-execs of this
+    // binary — see `maybe_run_worker_process` in `main`).  Stealing and
+    // cancel-on-winner are off and winners keep draining, so every worker
+    // retires exactly its dealt share and the merged unique-oracle-query
+    // count is a pure function of the workload — a point-gateable canary
+    // that the cross-process cache sync keeps farm-wide oracle traffic
+    // deduplicated.  A second run crashes worker 0 on its first lease
+    // (deterministically region 0) and gates that exactly that one lease
+    // requeues and the survivor still completes the whole region space.
+    {
+        let dist_original = generate(&RandomCircuitSpec::new("dist_farm", 8, 2, 50));
+        let dist_locked = SfllHd::new(5, 0)
+            .with_seed(2)
+            .lock(&dist_original)
+            .expect("lock dist smoke circuit");
+        let mut farm_config = fall_dist::FarmConfig {
+            workers: 2,
+            partition_bits: 2,
+            steal: false,
+            cancel_on_winner: false,
+            ..fall_dist::FarmConfig::default()
+        };
+
+        let t = Instant::now();
+        let clean = fall_dist::Farm::spawn(&dist_locked.locked, &dist_original, &farm_config)
+            .expect("spawn dist farm")
+            .wait();
+        report.record("info_dist_2w_s", t.elapsed().as_secs_f64(), false);
+        assert!(clean.completed, "dist farm concludes");
+        let key = clean.key.as_ref().expect("dist farm recovers a key");
+        assert!(
+            dist_locked.key_is_functionally_correct(key, 200, 4),
+            "dist farm key unlocks the circuit"
+        );
+        report.record("dist_2w_key_found", 1.0, false);
+        report.record(
+            "dist_2w_unique_oracle_queries",
+            clean.unique_oracle_queries as f64,
+            false,
+        );
+        report.record(
+            "dist_2w_regions_completed",
+            clean.regions_completed as f64,
+            false,
+        );
+
+        farm_config.worker_args = vec![vec!["--crash-on-first-lease".to_string()]];
+        let t = Instant::now();
+        let crash = fall_dist::Farm::spawn(&dist_locked.locked, &dist_original, &farm_config)
+            .expect("spawn dist crash farm")
+            .wait();
+        report.record("info_dist_crash_s", t.elapsed().as_secs_f64(), false);
+        assert!(crash.completed, "dist farm survives a worker crash");
+        let key = crash
+            .key
+            .as_ref()
+            .expect("crash-run survivor recovers the key");
+        assert!(dist_locked.key_is_functionally_correct(key, 200, 4));
+        report.record(
+            "dist_requeued_regions",
+            crash.regions_requeued as f64,
+            false,
+        );
+        report.record(
+            "dist_crash_workers_crashed",
+            crash.workers_crashed as f64,
+            false,
+        );
+    }
+
     report
 }
 
@@ -629,6 +700,10 @@ fn is_wall_clock(name: &str) -> bool {
 }
 
 fn main() -> ExitCode {
+    // The dist-farm section re-execs this binary as its worker processes;
+    // a worker invocation never returns from this call.
+    fall_dist::maybe_run_worker_process();
+
     let options = match parse_args() {
         Ok(options) => options,
         Err(message) => {

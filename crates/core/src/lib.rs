@@ -58,6 +58,7 @@
 #![deny(missing_docs)]
 
 pub mod attack;
+pub mod dist;
 pub mod encode;
 pub mod equivalence;
 pub mod functional;
@@ -75,8 +76,9 @@ pub use attack::{fall_attack, FallAttackConfig, FallAttackResult, FallStatus};
 pub use key_confirmation::{key_confirmation, KeyConfirmationConfig, KeyConfirmationResult};
 pub use oracle::{CountingOracle, Oracle, SimOracle};
 pub use parallel::{
-    parallel_partitioned_key_search, portfolio_sat_attack, CachingOracle, CancelToken,
-    ParallelSearchResult, PortfolioResult,
+    drain_regions, parallel_partitioned_key_search, portfolio_sat_attack, AtomicRegionSource,
+    CachingOracle, CancelToken, ParallelSearchResult, PortfolioResult, RegionDrain,
+    RegionDrainOutcome, RegionSource,
 };
 pub use sat_attack::{sat_attack, SatAttackConfig, SatAttackResult, SatAttackStatus};
 pub use session::{AttackSession, KeyVector};

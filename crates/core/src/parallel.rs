@@ -213,6 +213,147 @@ impl Oracle for CachingOracle<'_> {
     }
 }
 
+/// A source of key-space region indices for a region-draining worker.
+///
+/// [`drain_regions`] pulls region indices from one of these until it is
+/// exhausted, a key is found, or the run is cancelled.  The in-process
+/// engine uses [`AtomicRegionSource`] (a shared atomic counter); the
+/// multi-process farm in [`crate::dist`] implements the same trait over a
+/// wire protocol, so the region-draining worker loop is written exactly once.
+pub trait RegionSource: Sync {
+    /// The next region to search, or `None` when the queue is drained (or
+    /// the run is over).  May block — a distributed source waits on the
+    /// supervisor's reply here.
+    fn next_region(&self) -> Option<u64>;
+
+    /// Acknowledges that `region` completed without a key.  A distributed
+    /// source reports this to its supervisor so the lease can be retired;
+    /// the in-process source needs no acknowledgement (regions are retired
+    /// the moment they are handed out, because a thread cannot crash
+    /// independently of the process).
+    fn complete_region(&self, _region: u64, _iterations: usize) {}
+}
+
+/// The in-process [`RegionSource`]: a shared atomic counter over the dense
+/// region range `0..regions`.
+#[derive(Debug)]
+pub struct AtomicRegionSource {
+    next: AtomicU64,
+    regions: u64,
+}
+
+impl AtomicRegionSource {
+    /// A source that deals out `0..regions` exactly once across all pullers.
+    pub fn new(regions: u64) -> AtomicRegionSource {
+        AtomicRegionSource {
+            next: AtomicU64::new(0),
+            regions,
+        }
+    }
+}
+
+impl RegionSource for AtomicRegionSource {
+    fn next_region(&self) -> Option<u64> {
+        let region = self.next.fetch_add(1, Ordering::Relaxed);
+        (region < self.regions).then_some(region)
+    }
+}
+
+/// Why a [`drain_regions`] call returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegionDrainOutcome {
+    /// The source ran dry: every region this worker pulled completed and
+    /// proved keyless.
+    Drained,
+    /// A region confirmed a key.
+    Winner {
+        /// The region whose constraints admitted the key.
+        region: u64,
+        /// The confirmed key.
+        key: Key,
+    },
+    /// A region hit its iteration/time/conflict budget without concluding;
+    /// mirroring the serial search, the whole run should abort as
+    /// incomplete.
+    Exhausted {
+        /// The region whose search ran out of budget.
+        region: u64,
+    },
+    /// The shared [`CancelToken`] fired (another worker won, or the caller
+    /// aborted) before or during a region search.
+    Cancelled,
+}
+
+/// What one worker did in a [`drain_regions`] call.
+#[derive(Clone, Debug)]
+pub struct RegionDrain {
+    /// Why the drain ended.
+    pub outcome: RegionDrainOutcome,
+    /// Distinguishing-input iterations summed over all regions searched.
+    pub iterations: usize,
+    /// Regions this worker pulled (fully or partially searched).
+    pub regions_searched: usize,
+}
+
+/// The region-draining worker loop, shared by the in-process pool and the
+/// multi-process farm: pull regions from `source` and run key confirmation
+/// for each on the worker's long-lived `session`, binding the region's
+/// key-bit constraints in a retireable predicate generation.
+///
+/// Region `r` constrains key bit `b < partition_bits` to `(r >> b) & 1` —
+/// the §VI-D partition, identical to
+/// [`crate::key_confirmation::partitioned_key_search`].  Completed keyless
+/// regions are acknowledged via [`RegionSource::complete_region`]; a winner
+/// or a budget exhaustion ends the drain immediately (the *caller* decides
+/// whether to cancel the rest of the pool).  The session must already be
+/// primed and must not have a predicate generation in flight.
+pub fn drain_regions(
+    session: &mut AttackSession,
+    oracle: &dyn Oracle,
+    source: &dyn RegionSource,
+    partition_bits: usize,
+    config: &KeyConfirmationConfig,
+    cancel: &CancelToken,
+) -> RegionDrain {
+    let mut iterations = 0;
+    let mut regions_searched = 0;
+    let outcome = loop {
+        if cancel.is_cancelled() {
+            break RegionDrainOutcome::Cancelled;
+        }
+        let Some(region) = source.next_region() else {
+            break RegionDrainOutcome::Drained;
+        };
+        regions_searched += 1;
+
+        let result = key_confirmation_with_predicate_in(session, oracle, config, |s, keys| {
+            for (bit, &lit) in keys.iter().enumerate().take(partition_bits) {
+                let value = (region >> bit) & 1 == 1;
+                s.add_clause([if value { lit } else { !lit }]);
+            }
+        });
+        iterations += result.iterations;
+
+        if let Some(key) = result.key {
+            break RegionDrainOutcome::Winner { region, key };
+        }
+        if !result.completed {
+            // Distinguish "the token fired and interrupted us" from a
+            // genuine budget exhaustion.
+            if cancel.is_cancelled() {
+                break RegionDrainOutcome::Cancelled;
+            }
+            break RegionDrainOutcome::Exhausted { region };
+        }
+        source.complete_region(region, result.iterations);
+    };
+    RegionDrain {
+        outcome,
+        iterations,
+        regions_searched,
+    }
+}
+
 /// The outcome of a [`parallel_partitioned_key_search`] run.
 #[derive(Clone, Debug)]
 pub struct ParallelSearchResult {
@@ -305,7 +446,7 @@ pub fn parallel_partitioned_key_search(
 
     let cache = CachingOracle::new(oracle);
     let cancel = CancelToken::new();
-    let next_region = AtomicU64::new(0);
+    let source = AtomicRegionSource::new(num_regions);
     let winner: Mutex<Option<Key>> = Mutex::new(None);
     let exhausted_budget = AtomicBool::new(false);
     let iterations = AtomicUsize::new(0);
@@ -326,44 +467,28 @@ pub fn parallel_partitioned_key_search(
                 let mut session = AttackSession::new(locked);
                 session.set_interrupt(Some(cancel.as_flag()));
                 session.prime();
-                loop {
-                    if cancel.is_cancelled() {
-                        break;
-                    }
-                    let region = next_region.fetch_add(1, Ordering::Relaxed);
-                    if region >= num_regions {
-                        break;
-                    }
-                    regions_searched.fetch_add(1, Ordering::Relaxed);
-
-                    let result = key_confirmation_with_predicate_in(
-                        &mut session,
-                        &cache,
-                        config,
-                        |s, keys| {
-                            for (bit, &lit) in keys.iter().enumerate().take(partition_bits) {
-                                let value = (region >> bit) & 1 == 1;
-                                s.add_clause([if value { lit } else { !lit }]);
-                            }
-                        },
-                    );
-                    iterations.fetch_add(result.iterations, Ordering::Relaxed);
-
-                    if let Some(key) = result.key {
+                let drain = drain_regions(
+                    &mut session,
+                    &cache,
+                    &source,
+                    partition_bits,
+                    config,
+                    &cancel,
+                );
+                iterations.fetch_add(drain.iterations, Ordering::Relaxed);
+                regions_searched.fetch_add(drain.regions_searched, Ordering::Relaxed);
+                match drain.outcome {
+                    RegionDrainOutcome::Winner { key, .. } => {
                         *winner.lock().expect("winner lock poisoned") = Some(key);
                         cancel.cancel();
-                        break;
                     }
-                    if !result.completed {
-                        // Distinguish "another worker won and interrupted us"
-                        // from a genuine budget exhaustion, which — mirroring
-                        // the serial search — aborts the whole run.
-                        if !cancel.is_cancelled() {
-                            exhausted_budget.store(true, Ordering::SeqCst);
-                            cancel.cancel();
-                        }
-                        break;
+                    RegionDrainOutcome::Exhausted { .. } => {
+                        // Mirroring the serial search, a budget exhaustion
+                        // anywhere aborts the whole run as incomplete.
+                        exhausted_budget.store(true, Ordering::SeqCst);
+                        cancel.cancel();
                     }
+                    RegionDrainOutcome::Drained | RegionDrainOutcome::Cancelled => {}
                 }
                 cone_encodings_built
                     .fetch_add(session.cone_encodings_built() as usize, Ordering::Relaxed);

@@ -85,6 +85,12 @@ pub struct ServiceConfig {
     /// How often the reaper thread scans active jobs for expired deadlines;
     /// effectively the cancellation latency granularity.
     pub reaper_interval: Duration,
+    /// Latency samples retained for the p50/p99 gauges.  Up to this many
+    /// completed jobs the percentiles are exact; past it the samples are a
+    /// uniform reservoir over the service lifetime (see
+    /// [`LatencyReservoir`]), so memory stays flat no matter how many jobs
+    /// a long-lived server completes.
+    pub latency_reservoir: usize,
 }
 
 impl Default for ServiceConfig {
@@ -96,7 +102,70 @@ impl Default for ServiceConfig {
             default_timeout: Duration::from_secs(30),
             max_timeout: Duration::from_secs(300),
             reaper_interval: Duration::from_millis(10),
+            latency_reservoir: 4096,
         }
+    }
+}
+
+/// Fixed-capacity uniform sample of job latencies (Algorithm R).
+///
+/// The first `capacity` recorded values are kept verbatim, so percentiles
+/// over the reservoir are *exact* until the cap is reached.  From then on
+/// each new value replaces a random slot with probability `capacity / seen`,
+/// which keeps the retained set a uniform random sample of everything ever
+/// recorded — percentiles become estimates with bounded memory instead of
+/// an unbounded `Vec` on a server completing millions of jobs.  The
+/// replacement choices come from a deterministic splitmix64 stream, so a
+/// given record sequence always retains the same sample.
+pub struct LatencyReservoir {
+    samples: Vec<u64>,
+    seen: u64,
+    capacity: usize,
+    rng: u64,
+}
+
+impl LatencyReservoir {
+    /// An empty reservoir holding at most `capacity` samples (clamped to a
+    /// minimum of one).
+    pub fn new(capacity: usize) -> LatencyReservoir {
+        let capacity = capacity.max(1);
+        LatencyReservoir {
+            samples: Vec::new(),
+            seen: 0,
+            capacity,
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Records one value, evicting a uniformly-chosen retained sample if the
+    /// reservoir is full.
+    pub fn record(&mut self, value: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(value);
+            return;
+        }
+        // splitmix64 step; uniform slot choice over everything seen so far.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let slot = z % self.seen;
+        if (slot as usize) < self.capacity {
+            self.samples[slot as usize] = value;
+        }
+    }
+
+    /// The retained samples, in arrival order (exact history below
+    /// capacity, uniform sample above).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Total values ever recorded (≥ `samples().len()`).
+    pub fn seen(&self) -> u64 {
+        self.seen
     }
 }
 
@@ -393,8 +462,8 @@ struct Shared {
     /// Word-parallel prefilter counters accumulated from FALL jobs.
     prefilter: Mutex<PrefilterStats>,
     /// End-to-end (queue + run) job latencies in microseconds, for the
-    /// p50/p99 gauges.
-    latencies: Mutex<Vec<u64>>,
+    /// p50/p99 gauges — a bounded reservoir, not a full history.
+    latencies: Mutex<LatencyReservoir>,
 }
 
 /// The session pool.  See the module docs for the architecture.
@@ -414,6 +483,7 @@ pub struct AttackService {
 impl AttackService {
     /// Starts an empty pool (plus its reaper thread) with the given sizing.
     pub fn new(config: ServiceConfig) -> AttackService {
+        let config_reservoir = config.latency_reservoir;
         let shared = Arc::new(Shared {
             config,
             shutting_down: AtomicBool::new(false),
@@ -423,7 +493,7 @@ impl AttackService {
             counters: Counters::default(),
             worker_stats: Mutex::new(Vec::new()),
             prefilter: Mutex::new(PrefilterStats::default()),
-            latencies: Mutex::new(Vec::new()),
+            latencies: Mutex::new(LatencyReservoir::new(config_reservoir)),
         });
         let reaper = {
             let shared = Arc::clone(&shared);
@@ -780,10 +850,12 @@ impl AttackService {
         push("oracle_cache_hit_rate", rate, true);
 
         let latencies = self.shared.latencies.lock().expect("latency lock");
-        let (p50, p99) = percentiles(&latencies);
+        let (p50, p99) = percentiles(latencies.samples());
+        let retained = latencies.samples().len();
         drop(latencies);
         push("serve_latency_p50_s", p50, false);
         push("serve_latency_p99_s", p99, false);
+        push("serve_latency_samples", retained as f64, false);
 
         let mut pool = SolverStats::default();
         for stats in self.shared.worker_stats.lock().expect("stats lock").iter() {
@@ -1051,7 +1123,7 @@ fn run_job(
         .latencies
         .lock()
         .expect("latency lock")
-        .push((queued_for + elapsed).as_micros() as u64);
+        .record((queued_for + elapsed).as_micros() as u64);
     shared.worker_stats.lock().expect("stats lock")[slot] = session.stats();
 
     let _ = job.reply.send(JobReport {
@@ -1208,6 +1280,43 @@ mod tests {
         assert_eq!(queue.pop_fair().expect("job").job_id, 11);
         assert_eq!(queue.pop_fair().expect("job").job_id, 20);
         assert!(queue.pop_fair().is_none());
+    }
+
+    #[test]
+    fn latency_reservoir_is_exact_below_capacity_and_flat_above() {
+        let mut reservoir = LatencyReservoir::new(8);
+        for value in 0..8 {
+            reservoir.record(value);
+        }
+        // Below the cap nothing is sampled away: exact history, exact
+        // percentiles.
+        assert_eq!(reservoir.samples(), (0..8).collect::<Vec<u64>>());
+        assert_eq!(reservoir.seen(), 8);
+
+        // A million more records: memory stays at the cap, the retained set
+        // stays a subset of what was recorded, and the total is counted.
+        for value in 8..1_000_000 {
+            reservoir.record(value);
+        }
+        assert_eq!(reservoir.samples().len(), 8);
+        assert_eq!(reservoir.seen(), 1_000_000);
+        assert!(reservoir.samples().iter().all(|&v| v < 1_000_000));
+
+        // Deterministic replacement stream: same inputs, same sample.
+        let mut replay = LatencyReservoir::new(8);
+        for value in 0..1_000_000 {
+            replay.record(value);
+        }
+        assert_eq!(replay.samples(), reservoir.samples());
+    }
+
+    #[test]
+    fn latency_reservoir_clamps_a_zero_capacity() {
+        let mut reservoir = LatencyReservoir::new(0);
+        reservoir.record(7);
+        reservoir.record(9);
+        assert_eq!(reservoir.samples().len(), 1);
+        assert_eq!(reservoir.seen(), 2);
     }
 
     #[test]

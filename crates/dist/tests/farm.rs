@@ -1,0 +1,245 @@
+//! End-to-end farm tests: pipes and TCP transports, crash requeue, and the
+//! differential invariants the in-process engine gates
+//! (`tests/parallel_engine.rs`) carried over to the multi-process farm.
+//!
+//! Worker processes are the `fall-dist` binary itself (Cargo exposes its
+//! test-profile path as `CARGO_BIN_EXE_fall-dist`), so these tests exercise
+//! the exact re-exec path production farms use.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use fall::key_confirmation::partitioned_key_search;
+use fall::{KeyConfirmationConfig, SimOracle};
+use fall_dist::{farm_over_tcp, Farm, FarmConfig, WorkerOptions, WORKER_SENTINEL};
+use locking::{LockedCircuit, LockingScheme, SfllHd};
+use netlist::random::{generate, RandomCircuitSpec};
+use netlist::Netlist;
+
+const PARTITION_BITS: usize = 2;
+
+fn worker_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_fall-dist"))
+}
+
+/// The differential workload: a lockable circuit, its activated (key-free)
+/// oracle netlist, and the serial reference result.
+fn smoke_case() -> (LockedCircuit, Netlist, fall::KeyConfirmationResult) {
+    let original = generate(&RandomCircuitSpec::new("dist_farm", 8, 2, 50));
+    let locked = SfllHd::new(5, 0)
+        .with_seed(2)
+        .lock(&original)
+        .expect("lock");
+    let oracle = SimOracle::new(original.clone());
+    let serial = partitioned_key_search(
+        &locked.locked,
+        &oracle,
+        PARTITION_BITS,
+        &KeyConfirmationConfig::default(),
+    );
+    assert!(serial.completed, "serial reference must conclude");
+    assert!(serial.key.is_some(), "serial reference must find the key");
+    (locked, original, serial)
+}
+
+fn base_config(workers: usize) -> FarmConfig {
+    FarmConfig {
+        workers,
+        partition_bits: PARTITION_BITS,
+        worker_exe: Some(worker_exe()),
+        ..FarmConfig::default()
+    }
+}
+
+#[test]
+fn pipes_farm_recovers_the_serial_key_with_bounded_oracle_traffic() {
+    let (locked, original, serial) = smoke_case();
+    let farm = Farm::spawn(&locked.locked, &original, &base_config(2)).expect("spawn farm");
+    let result = farm.wait();
+
+    assert!(result.completed, "farm run concludes");
+    assert_eq!(result.workers, 2);
+    assert_eq!(result.workers_crashed, 0);
+    assert_eq!(result.regions_requeued, 0);
+    let key = result.key.as_ref().expect("farm recovers a key");
+    assert!(
+        locked.key_is_functionally_correct(key, 200, 4),
+        "farm key unlocks the circuit"
+    );
+    // The invariant the in-process engine gates: cross-process dedup keeps
+    // unique oracle traffic within a worker's-worth of the serial count.
+    assert!(
+        result.unique_oracle_queries <= serial.oracle_queries + result.workers,
+        "farm {} vs serial {}",
+        result.unique_oracle_queries,
+        serial.oracle_queries
+    );
+}
+
+#[test]
+fn drain_all_mode_retires_every_region_deterministically() {
+    let (locked, original, _serial) = smoke_case();
+    let config = FarmConfig {
+        steal: false,
+        cancel_on_winner: false,
+        ..base_config(2)
+    };
+    let first = Farm::spawn(&locked.locked, &original, &config)
+        .expect("spawn farm")
+        .wait();
+    assert!(first.completed);
+    assert_eq!(
+        first.regions_completed as u64, first.regions,
+        "drain-all retires every region"
+    );
+    assert_eq!(first.regions_stolen, 0, "stealing disabled");
+    let key = first.key.as_ref().expect("key recovered");
+    assert!(locked.key_is_functionally_correct(key, 200, 4));
+    // No serial-count bound here: drain-all deliberately searches every
+    // region, including those the early-stopping serial reference never
+    // reached, so its unique-query count is not comparable to serial's.
+    // The cancel-on-winner tests above carry that invariant.
+
+    // With fixed round-robin shares, no stealing, no early cancel, and
+    // winners that keep draining, every worker's region sequence — and
+    // therefore the merged unique-query count — is a pure function of the
+    // workload.  This determinism is what lets bench_smoke gate
+    // `dist_2w_unique_oracle_queries` at a point value.
+    let second = Farm::spawn(&locked.locked, &original, &config)
+        .expect("spawn farm")
+        .wait();
+    assert_eq!(
+        second.unique_oracle_queries, first.unique_oracle_queries,
+        "drain-all unique-query count is reproducible"
+    );
+    assert_eq!(second.key, first.key);
+}
+
+#[test]
+fn sigkill_mid_lease_requeues_the_region_and_recovers_the_key() {
+    let (locked, original, serial) = smoke_case();
+    let mut config = base_config(3);
+    // Worker 0 parks on its first lease long enough for the test to SIGKILL
+    // it provably mid-lease; the lease must requeue and a survivor must
+    // finish the search.
+    config.worker_args = vec![vec![
+        "--stall-first-lease-ms".to_string(),
+        "60000".to_string(),
+    ]];
+    let farm = Farm::spawn(&locked.locked, &original, &config).expect("spawn farm");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let leased = loop {
+        if let Some(region) = farm.leased_region_of(0) {
+            break region;
+        }
+        assert!(Instant::now() < deadline, "worker 0 never received a lease");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    let status = Command::new("kill")
+        .args(["-9", &farm.worker_pid(0).to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success(), "SIGKILL delivered");
+
+    let result = farm.wait();
+    assert!(
+        result.regions_requeued >= 1,
+        "the killed worker's lease (region {leased}) must requeue"
+    );
+    assert!(result.workers_crashed >= 1);
+    let key = result.key.as_ref().expect("survivors recover the key");
+    assert!(
+        locked.key_is_functionally_correct(key, 200, 4),
+        "recovered key equals the serial result functionally"
+    );
+    assert!(
+        result.unique_oracle_queries <= serial.oracle_queries + result.workers,
+        "farm {} vs serial {}",
+        result.unique_oracle_queries,
+        serial.oracle_queries
+    );
+}
+
+#[test]
+fn crash_on_first_lease_hook_exercises_the_requeue_path_deterministically() {
+    let (locked, original, _serial) = smoke_case();
+    let config = FarmConfig {
+        steal: false,
+        cancel_on_winner: false,
+        worker_args: vec![vec!["--crash-on-first-lease".to_string()]],
+        ..base_config(2)
+    };
+    let result = Farm::spawn(&locked.locked, &original, &config)
+        .expect("spawn farm")
+        .wait();
+    // Worker 0's first grant is deterministically region 0 (requeue lane
+    // empty, own share front); it dies holding exactly that lease.
+    assert_eq!(result.regions_requeued, 1);
+    assert_eq!(result.workers_crashed, 1);
+    assert!(result.completed, "survivor retires the whole region space");
+    assert_eq!(result.regions_completed as u64, result.regions);
+    let key = result.key.as_ref().expect("survivor recovers the key");
+    assert!(locked.key_is_functionally_correct(key, 200, 4));
+}
+
+#[test]
+fn tcp_farm_matches_the_pipes_transport() {
+    let (locked, original, serial) = smoke_case();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+
+    let mut workers = Vec::new();
+    for _ in 0..2 {
+        workers.push(
+            Command::new(worker_exe())
+                .args([WORKER_SENTINEL, "--connect", &addr])
+                .spawn()
+                .expect("spawn TCP worker"),
+        );
+    }
+    let supervisor =
+        farm_over_tcp(&locked.locked, &original, &listener, &base_config(2)).expect("accept");
+    let result = supervisor.wait();
+    for mut worker in workers {
+        let _ = worker.wait();
+    }
+
+    assert!(result.completed);
+    assert_eq!(result.workers_crashed, 0);
+    let key = result.key.as_ref().expect("key recovered over TCP");
+    assert!(locked.key_is_functionally_correct(key, 200, 4));
+    assert!(result.unique_oracle_queries <= serial.oracle_queries + result.workers);
+}
+
+#[test]
+fn hung_worker_is_reaped_by_heartbeat_loss_and_its_lease_requeued() {
+    let (locked, original, _serial) = smoke_case();
+    let mut config = base_config(2);
+    // Worker 0 stalls its first lease far past the lease timeout; the
+    // monitor must kill it and requeue the lease without outside help.
+    config.worker_args = vec![vec![
+        "--stall-first-lease-ms".to_string(),
+        "120000".to_string(),
+    ]];
+    config.lease_timeout = Duration::from_millis(1500);
+    let result = Farm::spawn(&locked.locked, &original, &config)
+        .expect("spawn farm")
+        .wait();
+    assert!(result.regions_requeued >= 1, "timed-out lease requeued");
+    assert!(result.workers_crashed >= 1);
+    let key = result.key.as_ref().expect("survivor recovers the key");
+    assert!(locked.key_is_functionally_correct(key, 200, 4));
+}
+
+/// The options type is exported for TCP workers embedded in other hosts;
+/// keep its defaults stable (a frame must fit a whole shipped netlist).
+#[test]
+fn worker_options_defaults_are_generous_enough_for_netlists() {
+    let options = WorkerOptions::default();
+    assert!(options.max_frame >= 1 << 20);
+    assert!(options.stall_first_lease.is_none());
+    assert!(!options.crash_on_first_lease);
+}

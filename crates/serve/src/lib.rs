@@ -472,10 +472,10 @@ fn handle_attack(
             );
         }
     };
-    let timeout = request
-        .get("timeout_ms")
-        .and_then(Value::as_u64)
-        .map(Duration::from_millis);
+    let timeout = match protocol::parse_timeout_ms(request) {
+        Ok(millis) => millis.map(Duration::from_millis),
+        Err(reason) => return protocol::error_frame(id, ErrorCode::BadRequest, &reason),
+    };
     let spec = JobSpec {
         kind,
         timeout,

@@ -81,6 +81,27 @@ pub fn key_from_wire(text: &str) -> Result<Key, String> {
     Ok(Key::new(bits))
 }
 
+/// Parses the optional `timeout_ms` request field.
+///
+/// Absent means "use the server default" (`Ok(None)`).  When present it
+/// must be a **positive integer** count of milliseconds: zero would arm a
+/// deadline that expires before any worker can pick the job up, and
+/// non-numeric, negative or fractional values used to be silently dropped —
+/// handing the client the default deadline it explicitly tried to
+/// override.  Both now fail typed, for a `bad_request` response.
+pub fn parse_timeout_ms(request: &Value) -> Result<Option<u64>, String> {
+    let Some(value) = request.get("timeout_ms") else {
+        return Ok(None);
+    };
+    match value.as_u64() {
+        Some(0) => Err("\"timeout_ms\" must be a positive integer (got 0)".into()),
+        Some(millis) => Ok(Some(millis)),
+        None => Err(format!(
+            "\"timeout_ms\" must be a positive integer (got {value})"
+        )),
+    }
+}
+
 /// Starts a response object, echoing the request id when present.
 fn base(ok: bool, id: RequestId) -> Vec<(String, Value)> {
     let mut fields = vec![("ok".to_string(), Value::from(ok))];
@@ -255,6 +276,23 @@ mod tests {
             assert!(!frame.contains('\n'), "{frame}");
             let value = Value::parse(&frame).expect("valid JSON");
             assert!(value.get("ok").is_some());
+        }
+    }
+
+    #[test]
+    fn timeout_ms_accepts_positive_integers_and_rejects_the_rest() {
+        let with = |raw: &str| Value::parse(&format!("{{\"timeout_ms\":{raw}}}")).expect("JSON");
+        assert_eq!(
+            parse_timeout_ms(&Value::parse("{}").expect("JSON")),
+            Ok(None)
+        );
+        assert_eq!(parse_timeout_ms(&with("5000")), Ok(Some(5000)));
+        assert_eq!(parse_timeout_ms(&with("1")), Ok(Some(1)));
+        for raw in ["0", "-5", "1.5", "\"5000\"", "null", "true", "[1]"] {
+            assert!(
+                parse_timeout_ms(&with(raw)).is_err(),
+                "timeout_ms {raw} must be rejected"
+            );
         }
     }
 

@@ -386,6 +386,54 @@ fn confirm_requests_are_validated_before_queueing() {
 }
 
 #[test]
+fn invalid_timeouts_are_rejected_before_queueing() {
+    let server = test_server();
+    let mut client = Client::connect(&server);
+    let original = circuit("serve_timeout_validate", 14, 120);
+    let locked = TtLock::new(8)
+        .with_seed(2)
+        .lock(&original)
+        .expect("lock")
+        .optimized();
+    client.register("t", "ttlock", 0, &locked.locked, &original);
+
+    // A zero deadline would expire before any worker could start the job;
+    // non-numeric and negative values used to fall back to the default
+    // silently.  All are typed bad requests now.
+    for raw in ["0", "-100", "1.5", "\"5000\"", "null"] {
+        client.send(&format!(
+            "{{\"op\":\"attack\",\"target\":\"t\",\"kind\":\"sat\",\"timeout_ms\":{raw}}}"
+        ));
+        let response = client.recv();
+        assert_eq!(
+            response.get("error").and_then(Value::as_str),
+            Some("bad_request"),
+            "timeout_ms {raw} must be rejected"
+        );
+        assert!(
+            response
+                .get("message")
+                .and_then(Value::as_str)
+                .is_some_and(|m| m.contains("timeout_ms")),
+            "error names the offending field"
+        );
+    }
+
+    // A positive integer is accepted; the connection survived the rejects.
+    let job = client.submit(Value::object([
+        ("op", Value::from("attack")),
+        ("target", Value::from("t")),
+        ("kind", Value::from("sat")),
+        ("timeout_ms", Value::from(60_000u64)),
+    ]));
+    let event = client.recv_job_event(job);
+    assert_eq!(
+        event.get("status").and_then(Value::as_str),
+        Some("key_found")
+    );
+}
+
+#[test]
 fn oversized_frames_close_the_connection_with_a_typed_error() {
     let config = ServerConfig {
         max_frame: 256,
