@@ -69,12 +69,23 @@ cargo test -q --workspace
 echo "==> cargo test -q --test session_reuse --test parallel_engine"
 cargo test -q --test session_reuse --test parallel_engine
 
-# The clause-arena correctness story: GC forced at every conflict must be
-# status-identical to GC disabled, and 100 retired predicate generations must
-# hold variable count and arena bytes flat.  Also part of the workspace run;
-# re-run explicitly so a failure is attributed to the arena/GC machinery.
+# The clause-arena and inprocessing correctness story: GC forced at every
+# conflict must be status-identical to GC disabled, bounded variable
+# elimination forced at every simplify checkpoint must be status-identical to
+# elimination disabled (with reconstructed models satisfying the original
+# clauses), and 100 retired predicate generations must hold variable count
+# and arena bytes flat.  Also part of the workspace run; re-run explicitly so
+# a failure is attributed to the arena/GC/eliminator machinery.
 echo "==> cargo test -q --test gc_differential"
 cargo test -q --test gc_differential
+
+# The modern-CDCL-core unit story: LBD tier accounting, EMA restart
+# forcing/blocking, adaptive strategy classification and the eliminator's
+# freeze/resurrect/model-reconstruction invariants live in the sat crate's
+# unit tests; re-run them explicitly so a failure is attributed to the
+# solver core rather than an attack-level suite.
+echo "==> cargo test -q -p sat --lib"
+cargo test -q -p sat --lib
 
 # The wide-simulation correctness story: the W-word blocked engine must match
 # the scalar reference bit for bit for W in {1,2,4,8}, and the batched oracle

@@ -161,6 +161,18 @@ fn measure() -> MetricReport {
                 parallel.recycled_vars as f64,
                 false,
             );
+            // Search-effort counters of the modern CDCL core (tiered
+            // reduction, EMA restarts, bounded variable elimination), from
+            // the same deterministic single-worker drain: how many conflicts
+            // and propagated literals the whole serial region sweep costs,
+            // and how often the tiered learnt-database reduction ran.
+            // Baseline-gated so a heuristic regression that silently blows
+            // up search effort fails the smoke even when wall-clock noise
+            // would hide it.
+            let sat = &parallel.solver_stats;
+            report.record("parallel_1w_conflicts", sat.conflicts as f64, false);
+            report.record("parallel_1w_propagations", sat.propagations as f64, false);
+            report.record("parallel_1w_reductions", sat.reductions as f64, false);
         } else {
             // Single-shot wall-clock ratio: scheduler jitter and per-machine
             // core counts make this unsuitable for a required gate, so it is

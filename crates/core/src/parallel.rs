@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 
 use locking::Key;
 use netlist::Netlist;
-use sat::SolverConfig;
+use sat::{SolverConfig, SolverStats};
 
 use crate::key_confirmation::{key_confirmation_with_predicate_in, KeyConfirmationConfig};
 use crate::oracle::Oracle;
@@ -392,6 +392,11 @@ pub struct ParallelSearchResult {
     /// Largest end-of-run wasted (tombstoned, not yet collected) byte count
     /// across the workers.
     pub peak_wasted_bytes: u64,
+    /// End-of-run [`SolverStats`] absorbed across every worker session:
+    /// conflicts/propagations, restarts by kind, reduction rounds, tier
+    /// sizes, eliminated/resurrected variables, EMA snapshots — the full
+    /// counter surface, for metric export and bench gating.
+    pub solver_stats: SolverStats,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -437,6 +442,7 @@ pub fn parallel_partitioned_key_search(
         recycled_vars: 0,
         peak_arena_bytes: 0,
         peak_wasted_bytes: 0,
+        solver_stats: SolverStats::default(),
         elapsed: start.elapsed(),
     };
     if partition_bits >= u64::BITS as usize {
@@ -457,6 +463,7 @@ pub fn parallel_partitioned_key_search(
     let recycled_vars = AtomicU64::new(0);
     let peak_arena_bytes = AtomicU64::new(0);
     let peak_wasted_bytes = AtomicU64::new(0);
+    let pool_stats: Mutex<SolverStats> = Mutex::new(SolverStats::default());
 
     thread::scope(|scope| {
         for _ in 0..workers {
@@ -497,6 +504,10 @@ pub fn parallel_partitioned_key_search(
                 recycled_vars.fetch_add(stats.recycled_vars, Ordering::Relaxed);
                 peak_arena_bytes.fetch_max(stats.arena_bytes, Ordering::Relaxed);
                 peak_wasted_bytes.fetch_max(stats.wasted_bytes, Ordering::Relaxed);
+                pool_stats
+                    .lock()
+                    .expect("pool stats lock poisoned")
+                    .absorb(&stats);
             });
         }
     });
@@ -519,6 +530,7 @@ pub fn parallel_partitioned_key_search(
         recycled_vars: recycled_vars.load(Ordering::Relaxed),
         peak_arena_bytes: peak_arena_bytes.load(Ordering::Relaxed),
         peak_wasted_bytes: peak_wasted_bytes.load(Ordering::Relaxed),
+        solver_stats: pool_stats.into_inner().expect("pool stats lock poisoned"),
         elapsed: start.elapsed(),
     }
 }

@@ -865,8 +865,32 @@ impl AttackService {
         push("sat_decisions", pool.decisions as f64, false);
         push("sat_propagations", pool.propagations as f64, false);
         push("sat_restarts", pool.restarts as f64, false);
+        push("sat_restarts_luby", pool.restarts_luby as f64, false);
+        push("sat_restarts_ema", pool.restarts_ema as f64, false);
+        push("sat_restarts_blocked", pool.restarts_blocked as f64, false);
+        push("sat_reductions", pool.reductions as f64, false);
         push("sat_solves", pool.solves as f64, false);
         push("sat_learnt_clauses", pool.learnt_clauses as f64, false);
+        push("sat_core_clauses", pool.core_clauses as f64, false);
+        push("sat_tier2_clauses", pool.tier2_clauses as f64, false);
+        push("sat_local_clauses", pool.local_clauses as f64, false);
+        push("sat_vars_eliminated", pool.vars_eliminated as f64, false);
+        push("sat_vars_resurrected", pool.vars_resurrected as f64, false);
+        push(
+            "sat_strategy_switches",
+            pool.strategy_switches as f64,
+            false,
+        );
+        push(
+            "sat_ema_lbd_fast_milli",
+            pool.ema_lbd_fast_milli as f64,
+            false,
+        );
+        push(
+            "sat_ema_lbd_slow_milli",
+            pool.ema_lbd_slow_milli as f64,
+            false,
+        );
         push("arena_bytes", pool.arena_bytes as f64, false);
         push("arena_wasted_bytes", pool.wasted_bytes as f64, false);
         push("gc_runs", pool.gc_runs as f64, false);

@@ -272,6 +272,15 @@ impl<'n> AttackSession<'n> {
     // DIP machinery (SAT attack and key confirmation).
     // ------------------------------------------------------------------
 
+    /// Marks literals as solver interface: the session references them across
+    /// [`Solver::simplify`] checkpoints (models, assumptions, new clauses),
+    /// so bounded variable elimination must never resolve them out.
+    fn freeze_all(&mut self, lits: &[Lit]) {
+        for lit in lits {
+            self.solver.set_frozen(lit.var(), true);
+        }
+    }
+
     fn ensure_dip(&mut self) {
         if self.dip.is_some() {
             return;
@@ -280,6 +289,13 @@ impl<'n> AttackSession<'n> {
         let copy_a: CircuitCopy = instantiate(self.netlist, &mut self.solver);
         let copy_b = instantiate_sharing_inputs(self.netlist, &mut self.solver, &copy_a.inputs);
         let diff = encode_any_difference(&mut self.solver, &copy_a.outputs, &copy_b.outputs);
+        // The session's permanent interface: inputs and both key copies are
+        // read from models and constrained by every later I/O pair, and the
+        // difference literal is re-armed after each extract_key.
+        self.freeze_all(&copy_a.inputs);
+        self.freeze_all(&copy_a.keys);
+        self.freeze_all(&copy_b.keys);
+        self.freeze_all(&[diff]);
         let diff_frame = self.solver.push_frame();
         self.solver.add_clause_in(diff_frame, [diff]);
         let io_a_frame = self.solver.push_frame();
@@ -343,6 +359,8 @@ impl<'n> AttackSession<'n> {
             let keys: Vec<Lit> = (0..self.netlist.num_key_inputs())
                 .map(|_| Lit::positive(self.solver.new_var()))
                 .collect();
+            // The pool outlives every generation; keep it out of elimination.
+            self.freeze_all(&keys);
             self.phi_key_pool = Some(keys);
         }
         let phi_frame = self.solver.push_frame();
@@ -647,6 +665,13 @@ impl<'n> AttackSession<'n> {
                 keys: Some(enc1.keys().to_vec()),
             },
         );
+        // Input and key pins of both spaces are referenced by every later
+        // analysis query; the internal cone-node literals are *not* frozen —
+        // elimination may chew through them, and a later re-reference pays a
+        // transparent resurrection instead.
+        self.freeze_all(enc1.inputs());
+        self.freeze_all(enc2.inputs());
+        self.freeze_all(enc1.keys());
         self.cones = Some(ConeParts {
             enc1,
             enc2,
@@ -663,7 +688,10 @@ impl<'n> AttackSession<'n> {
     pub fn cone_lit(&mut self, root: NodeId) -> Lit {
         self.ensure_cones();
         let cones = self.cones.as_mut().expect("just ensured");
-        cones.enc1.encode_cone(self.netlist, &mut self.solver, root)
+        let lit = cones.enc1.encode_cone(self.netlist, &mut self.solver, root);
+        // Root literals escape to callers (assumptions, miters); freeze them.
+        self.solver.set_frozen(lit.var(), true);
+        lit
     }
 
     /// Encodes (memoized) the candidate cone in both input spaces and
@@ -673,6 +701,8 @@ impl<'n> AttackSession<'n> {
         let cones = self.cones.as_mut().expect("just ensured");
         let l1 = cones.enc1.encode_cone(self.netlist, &mut self.solver, root);
         let l2 = cones.enc2.encode_cone(self.netlist, &mut self.solver, root);
+        self.solver.set_frozen(l1.var(), true);
+        self.solver.set_frozen(l2.var(), true);
         (l1, l2)
     }
 
@@ -693,6 +723,7 @@ impl<'n> AttackSession<'n> {
         let a = cones.enc1.inputs()[position];
         let b = cones.enc2.inputs()[position];
         let lit = xor2_lit(&mut self.solver, a, b);
+        self.solver.set_frozen(lit.var(), true);
         cones.diff[position] = Some(lit);
         lit
     }
@@ -727,6 +758,8 @@ impl<'n> AttackSession<'n> {
                 .map(|i| self.input_diff(i))
                 .collect();
             let sum = popcount_lits(&mut self.solver, &diffs);
+            // The counter bits feed every later `HD == k` literal.
+            self.freeze_all(&sum);
             self.cones.as_mut().expect("just ensured").popcount = Some(sum);
         }
         let cones = self.cones.as_mut().expect("just ensured");
@@ -741,6 +774,7 @@ impl<'n> AttackSession<'n> {
             });
         }
         let lit = acc.expect("popcount has at least one bit");
+        self.solver.set_frozen(lit.var(), true);
         self.cones
             .as_mut()
             .expect("just ensured")
@@ -757,6 +791,7 @@ impl<'n> AttackSession<'n> {
             return lit;
         }
         let lit = xor2_lit(&mut self.solver, a, b);
+        self.solver.set_frozen(lit.var(), true);
         self.cones
             .as_mut()
             .expect("just ensured")
@@ -778,6 +813,7 @@ impl<'n> AttackSession<'n> {
             return lit;
         }
         let lit = Lit::positive(self.solver.new_var());
+        self.solver.set_frozen(lit.var(), true);
         self.solver.add_clause([!lit]);
         cones.const_false = Some(lit);
         lit

@@ -36,8 +36,42 @@ const FLAG_DELETED: u32 = 1 << 30;
 /// Header word 0 flag: the clause was moved by GC; word 1 of the *old* arena
 /// holds the new offset.
 const FLAG_RELOCATED: u32 = 1 << 29;
+/// Header word 0 flag: the clause participated in a conflict since the last
+/// database reduction (drives TIER2 demotion).
+const FLAG_USED: u32 = 1 << 28;
+/// Header word 0, bits 27..=26: the clause's [`Tier`].
+const TIER_SHIFT: u32 = 26;
+const TIER_MASK: u32 = 0b11 << TIER_SHIFT;
 /// Low bits of header word 0: the number of literals.
-const LEN_MASK: u32 = FLAG_RELOCATED - 1;
+const LEN_MASK: u32 = (1 << TIER_SHIFT) - 1;
+
+/// Retention tier of a learnt clause (Chan-Seok / Glucose lineage).
+///
+/// CORE clauses (LBD at or below `co_lbd_bound` when learnt, or improved to
+/// that later) are treated as part of the problem and never deleted by
+/// database reduction.  TIER2 clauses survive reduction while they keep
+/// participating in conflicts and are demoted to LOCAL after an idle round.
+/// LOCAL clauses compete on activity and the lowest-activity half is evicted
+/// at every reduction.  Only learnt clauses carry a meaningful tier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) enum Tier {
+    /// Evictable: competes on activity at every reduction.
+    Local = 0,
+    /// Mid-tier: kept while used, demoted to LOCAL after an idle round.
+    Tier2 = 1,
+    /// Glue: never deleted by reduction.
+    Core = 2,
+}
+
+impl Tier {
+    fn from_bits(bits: u32) -> Tier {
+        match bits {
+            0 => Tier::Local,
+            1 => Tier::Tier2,
+            _ => Tier::Core,
+        }
+    }
+}
 
 /// Arena of clauses.  Deleted clauses are tombstoned (their words counted as
 /// wasted) so that outstanding [`ClauseRef`]s stay valid until the next
@@ -51,6 +85,9 @@ pub(crate) struct ClauseDb {
     /// iteration filters them.
     live: Vec<ClauseRef>,
     num_learnt: usize,
+    /// Live learnt clauses per tier: `[LOCAL, TIER2, CORE]`, kept in step by
+    /// `alloc`/`delete`/`set_tier`.
+    tier_counts: [usize; 3],
     /// Words occupied by tombstoned clauses, reclaimed by the next GC.
     wasted: usize,
 }
@@ -73,6 +110,7 @@ impl ClauseDb {
         self.live.push(cref);
         if learnt {
             self.num_learnt += 1;
+            self.tier_counts[Tier::Local as usize] += 1;
         }
         cref
     }
@@ -126,21 +164,71 @@ impl ClauseDb {
         self.arena[cref.index() + 2] = activity.to_bits();
     }
 
+    /// The retention tier of a learnt clause (LOCAL for problem clauses,
+    /// which never pass through reduction anyway).
+    pub(crate) fn tier(&self, cref: ClauseRef) -> Tier {
+        Tier::from_bits((self.arena[cref.index()] & TIER_MASK) >> TIER_SHIFT)
+    }
+
+    /// Moves a live learnt clause to `tier`, keeping the per-tier counts in
+    /// step.
+    pub(crate) fn set_tier(&mut self, cref: ClauseRef, tier: Tier) {
+        let header = self.arena[cref.index()];
+        debug_assert!(header & FLAG_LEARNT != 0, "only learnt clauses have tiers");
+        debug_assert!(header & FLAG_DELETED == 0, "tier change on a tombstone");
+        let old = Tier::from_bits((header & TIER_MASK) >> TIER_SHIFT);
+        if old == tier {
+            return;
+        }
+        self.tier_counts[old as usize] -= 1;
+        self.tier_counts[tier as usize] += 1;
+        self.arena[cref.index()] = (header & !TIER_MASK) | ((tier as u32) << TIER_SHIFT);
+    }
+
+    /// Whether the clause participated in a conflict since the last
+    /// reduction round ([`ClauseDb::set_used`]).
+    pub(crate) fn is_used(&self, cref: ClauseRef) -> bool {
+        self.arena[cref.index()] & FLAG_USED != 0
+    }
+
+    pub(crate) fn set_used(&mut self, cref: ClauseRef, used: bool) {
+        let header = &mut self.arena[cref.index()];
+        if used {
+            *header |= FLAG_USED;
+        } else {
+            *header &= !FLAG_USED;
+        }
+    }
+
     /// Tombstones a clause: its words become wasted arena space, reclaimed by
     /// the next [`ClauseDb::collect_garbage`].  Idempotent.
     pub(crate) fn delete(&mut self, cref: ClauseRef) {
-        let header = &mut self.arena[cref.index()];
-        if *header & FLAG_DELETED == 0 {
-            if *header & FLAG_LEARNT != 0 {
+        let header = self.arena[cref.index()];
+        if header & FLAG_DELETED == 0 {
+            if header & FLAG_LEARNT != 0 {
                 self.num_learnt -= 1;
+                let tier = Tier::from_bits((header & TIER_MASK) >> TIER_SHIFT);
+                self.tier_counts[tier as usize] -= 1;
             }
-            *header |= FLAG_DELETED;
-            self.wasted += HEADER_WORDS + (*header & LEN_MASK) as usize;
+            self.arena[cref.index()] = header | FLAG_DELETED;
+            self.wasted += HEADER_WORDS + (header & LEN_MASK) as usize;
         }
     }
 
     pub(crate) fn num_learnt(&self) -> usize {
         self.num_learnt
+    }
+
+    /// Live learnt clauses in `tier`.
+    pub(crate) fn tier_count(&self, tier: Tier) -> usize {
+        self.tier_counts[tier as usize]
+    }
+
+    /// Live learnt clauses that database reduction may evict or demote
+    /// (TIER2 + LOCAL) — the count paced against `max_learnts`; CORE clauses
+    /// are permanent knowledge and do not count.
+    pub(crate) fn num_removable(&self) -> usize {
+        self.tier_counts[Tier::Local as usize] + self.tier_counts[Tier::Tier2 as usize]
     }
 
     /// Total arena size in words (live + wasted).
@@ -288,6 +376,46 @@ mod tests {
         assert!(db.arena_words() < words_before);
         assert_eq!(db.live_refs().count(), 2);
         assert_eq!(db.num_learnt(), 1);
+    }
+
+    #[test]
+    fn tiers_round_trip_and_keep_counts() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&[lit(0), lit(1), lit(2)], true);
+        let b = db.alloc(&[lit(3), lit(4)], true);
+        assert_eq!(db.tier(a), Tier::Local);
+        assert_eq!(db.tier_count(Tier::Local), 2);
+        db.set_tier(a, Tier::Core);
+        db.set_tier(b, Tier::Tier2);
+        assert_eq!(db.tier(a), Tier::Core);
+        assert_eq!(db.tier(b), Tier::Tier2);
+        assert_eq!(db.tier_count(Tier::Local), 0);
+        assert_eq!(db.tier_count(Tier::Tier2), 1);
+        assert_eq!(db.tier_count(Tier::Core), 1);
+        assert_eq!(db.num_removable(), 1);
+        assert_eq!(db.len(a), 3, "tier bits must not leak into the length");
+        db.delete(b);
+        assert_eq!(db.tier_count(Tier::Tier2), 0);
+        assert_eq!(db.num_removable(), 0);
+    }
+
+    #[test]
+    fn used_flag_round_trips_and_survives_gc() {
+        let mut db = ClauseDb::new();
+        let junk = db.alloc(&[lit(9), lit(10)], false);
+        let a = db.alloc(&[lit(0), lit(1), lit(2)], true);
+        assert!(!db.is_used(a));
+        db.set_used(a, true);
+        db.set_tier(a, Tier::Tier2);
+        assert!(db.is_used(a));
+        db.delete(junk);
+        let map = db.collect_garbage();
+        let a2 = map.remap(a).expect("live clause relocated");
+        assert!(db.is_used(a2), "headers are copied verbatim by GC");
+        assert_eq!(db.tier(a2), Tier::Tier2);
+        assert_eq!(db.len(a2), 3);
+        db.set_used(a2, false);
+        assert!(!db.is_used(a2));
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Bounded variable elimination (SatELite/NiVER lineage) over the flat arena.
+//!
+//! Runs as an inprocessing pass at [`Solver::simplify`] checkpoints: a
+//! variable whose positive/negative occurrence counts fit
+//! [`SolverConfig::elim_occ_limit`](crate::SolverConfig::elim_occ_limit) is
+//! *resolved out* — every positive/negative clause pair is replaced by its
+//! resolvent — when the surviving resolvents do not grow the database beyond
+//! [`SolverConfig::elim_grow`](crate::SolverConfig::elim_grow) and none
+//! exceeds
+//! [`SolverConfig::elim_clause_limit`](crate::SolverConfig::elim_clause_limit).
+//! The variable's original clauses move onto a reconstruction stack:
+//!
+//! * On SAT, [`Solver::extend_model`] walks the stack in reverse and assigns
+//!   each eliminated variable a polarity satisfying its stored clauses, so
+//!   callers see a complete model of the *original* formula.
+//! * A later clause, assumption, or freeze that references an eliminated
+//!   variable *resurrects* it ([`Solver::resurrect_var`]): the stored
+//!   clauses are re-added (they imply every resolvent that replaced them, so
+//!   equivalence is exact) and the variable is barred from re-elimination —
+//!   incremental sessions stay sound without the caller tracking anything.
+//!
+//! Strictly excluded from elimination: frozen (interface) variables,
+//! frame-tagged variables (activation variables and frame-scoped Tseitin
+//! variables — frame retirement owns their lifecycle), released variables
+//! (the recycler owns them), assigned variables, and any variable sharing a
+//! clause with an excluded one (the resolvent set would be incomplete).
+
+use super::{LBool, Lit, Solver, Var};
+use crate::clause::ClauseRef;
+
+/// One entry of the elimination reconstruction stack: the variable and the
+/// original problem clauses it was resolved out of.
+#[derive(Clone, Debug)]
+pub(crate) struct ElimRecord {
+    pub(crate) var: Var,
+    pub(crate) clauses: Vec<Vec<Lit>>,
+}
+
+impl Solver {
+    /// The bounded variable elimination pass; called from
+    /// [`Solver::simplify`] after satisfied clauses and released variables
+    /// have been processed.
+    pub(crate) fn eliminate_vars(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.config.elim_vars || !self.ok || self.num_vars == 0 {
+            return;
+        }
+        let n = self.num_vars;
+
+        // Pass 1 — occurrence counts and exclusion marks over the live
+        // problem clauses.  A clause containing any frame-tagged or released
+        // variable blocks *all* its variables: eliminating one would need
+        // that clause in the resolvent set, and the excluded variable's
+        // lifecycle (frame retirement, recycling) may delete it later.
+        let mut pos = vec![0u32; n];
+        let mut neg = vec![0u32; n];
+        let mut blocked = vec![false; n];
+        for cref in self.db.live_refs() {
+            if self.db.is_learnt(cref) {
+                continue;
+            }
+            let lits = self.db.lits(cref);
+            let ineligible = lits.iter().any(|l| {
+                let i = l.var().index();
+                self.frame_tagged[i] || self.released[i]
+            });
+            for l in lits {
+                let i = l.var().index();
+                if ineligible {
+                    blocked[i] = true;
+                } else if l.polarity() {
+                    pos[i] += 1;
+                } else {
+                    neg[i] += 1;
+                }
+            }
+        }
+
+        let limit = self.config.elim_occ_limit as u32;
+        let mut candidates: Vec<Var> = Vec::new();
+        let mut slot = vec![usize::MAX; n];
+        for i in 0..n {
+            if pos[i] + neg[i] == 0 || pos[i] > limit || neg[i] > limit {
+                continue;
+            }
+            if blocked[i]
+                || self.frozen[i]
+                || self.eliminated[i]
+                || self.elim_skip[i]
+                || self.released[i]
+                || self.frame_tagged[i]
+                || self.assigns[i] != LBool::Undef
+            {
+                continue;
+            }
+            slot[i] = candidates.len();
+            candidates.push(Var::from_index(i));
+        }
+        if candidates.is_empty() {
+            return;
+        }
+
+        // Pass 2 — dense candidate-indexed occurrence lists.  Refs go stale
+        // when an earlier candidate's commit deletes a shared clause; the
+        // per-candidate scan filters tombstones, and resolvents are
+        // registered into the lists of still-pending candidates below, so
+        // every candidate always sees its complete live occurrence set —
+        // completeness is what makes the substitution sound.
+        let mut occ: Vec<Vec<ClauseRef>> = vec![Vec::new(); candidates.len()];
+        let problem_refs: Vec<ClauseRef> = self
+            .db
+            .live_refs()
+            .filter(|&c| !self.db.is_learnt(c))
+            .collect();
+        for cref in problem_refs {
+            for k in 0..self.db.len(cref) {
+                let s = slot[self.db.lit(cref, k).var().index()];
+                if s != usize::MAX {
+                    occ[s].push(cref);
+                }
+            }
+        }
+
+        let mut newly: Vec<Var> = Vec::new();
+        'candidates: for s in 0..candidates.len() {
+            if !self.ok {
+                break;
+            }
+            let var = candidates[s];
+            let vi = var.index();
+            // A unit resolvent of an earlier elimination may have assigned
+            // this candidate meanwhile.
+            if self.assigns[vi] != LBool::Undef {
+                continue;
+            }
+
+            // Live occurrences, split by the candidate's polarity, literals
+            // copied out (the commit below tombstones the refs).
+            let mut pos_clauses: Vec<(ClauseRef, Vec<Lit>)> = Vec::new();
+            let mut neg_clauses: Vec<(ClauseRef, Vec<Lit>)> = Vec::new();
+            for &cref in &occ[s] {
+                if self.db.is_deleted(cref) {
+                    continue;
+                }
+                let lits = self.db.lits(cref).to_vec();
+                let Some(my) = lits.iter().find(|l| l.var() == var).copied() else {
+                    continue;
+                };
+                if my.polarity() {
+                    pos_clauses.push((cref, lits));
+                } else {
+                    neg_clauses.push((cref, lits));
+                }
+            }
+            let occurrences = pos_clauses.len() + neg_clauses.len();
+            if occurrences == 0
+                || pos_clauses.len() > limit as usize
+                || neg_clauses.len() > limit as usize
+            {
+                continue;
+            }
+
+            // Trial resolution of every positive/negative pair.
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            for (_, cp) in &pos_clauses {
+                for (_, cn) in &neg_clauses {
+                    if let Some(r) = self.resolve_on(var, cp, cn) {
+                        if r.is_empty() {
+                            // The empty resolvent: the formula is
+                            // unsatisfiable at the root.
+                            self.ok = false;
+                            return;
+                        }
+                        if r.len() > self.config.elim_clause_limit {
+                            continue 'candidates;
+                        }
+                        resolvents.push(r);
+                    }
+                }
+            }
+            // Growth bound: units strengthen rather than grow, so only
+            // multi-literal resolvents count against the budget.
+            let grown = resolvents.iter().filter(|r| r.len() >= 2).count();
+            if grown > occurrences + self.config.elim_grow {
+                continue;
+            }
+
+            // Commit: tombstone the originals, store them for
+            // reconstruction/resurrection, add the resolvents.
+            let mut originals: Vec<Vec<Lit>> = Vec::with_capacity(occurrences);
+            for (cref, lits) in pos_clauses.into_iter().chain(neg_clauses) {
+                self.delete_clause(cref);
+                originals.push(lits);
+            }
+            self.elim_stack.push(ElimRecord {
+                var,
+                clauses: originals,
+            });
+            self.eliminated[vi] = true;
+            self.stats.vars_eliminated += 1;
+            newly.push(var);
+            for r in resolvents {
+                if let Some(cref) = self.add_clause_root_vec(r) {
+                    for k in 0..self.db.len(cref) {
+                        let s2 = slot[self.db.lit(cref, k).var().index()];
+                        if s2 != usize::MAX && s2 > s {
+                            occ[s2].push(cref);
+                        }
+                    }
+                }
+                if !self.ok {
+                    return;
+                }
+            }
+        }
+
+        if newly.is_empty() {
+            return;
+        }
+        // Learnt clauses over eliminated variables are implied by the
+        // original formula and only waste propagation effort on variables
+        // the search no longer branches on; drop them.
+        let mut gone = vec![false; n];
+        for v in &newly {
+            gone[v.index()] = true;
+        }
+        let db = &self.db;
+        let victims: Vec<ClauseRef> = db
+            .learnt_refs()
+            .filter(|&c| db.lits(c).iter().any(|l| gone[l.var().index()]))
+            .collect();
+        for cref in victims {
+            self.delete_clause(cref);
+        }
+        self.prune_watchers();
+    }
+
+    /// Resolves `cp` (contains `pivot`) with `cn` (contains `¬pivot`) on
+    /// `pivot`, simplifying against the root assignment.  Returns `None` for
+    /// tautological or root-satisfied resolvents; an empty clause signals a
+    /// root-level contradiction.
+    fn resolve_on(&self, pivot: Var, cp: &[Lit], cn: &[Lit]) -> Option<Vec<Lit>> {
+        let mut resolvent: Vec<Lit> = Vec::with_capacity(cp.len() + cn.len() - 2);
+        for &l in cp.iter().chain(cn) {
+            if l.var() == pivot {
+                continue;
+            }
+            match self.lit_value(l) {
+                LBool::True if self.level[l.var().index()] == 0 => return None,
+                LBool::False if self.level[l.var().index()] == 0 => continue,
+                _ => resolvent.push(l),
+            }
+        }
+        resolvent.sort_unstable();
+        resolvent.dedup();
+        // Complementary literals of one variable sort adjacently.
+        if resolvent.windows(2).any(|w| w[1] == !w[0]) {
+            return None;
+        }
+        Some(resolvent)
+    }
+
+    /// Re-introduces an eliminated variable by re-adding its stored original
+    /// clauses.  Sound and exact: the originals imply every resolvent that
+    /// replaced them, so the clause set is equivalent to never having
+    /// eliminated the variable (modulo redundant resolvents).
+    ///
+    /// Re-adding may cascade: a stored clause can reference a variable
+    /// eliminated *later*, whose resurrection is triggered recursively by the
+    /// clause-add path.  The `eliminated` flag is cleared first, so cycles
+    /// terminate.  The variable is barred from future elimination
+    /// (`elim_skip`) — a caller that referenced it once will plausibly do so
+    /// again, and eliminate/resurrect thrash costs more than keeping it.
+    pub(crate) fn resurrect_var(&mut self, var: Var) {
+        if !self.eliminated[var.index()] {
+            return;
+        }
+        self.eliminated[var.index()] = false;
+        self.elim_skip[var.index()] = true;
+        self.stats.vars_resurrected += 1;
+        let position = self
+            .elim_stack
+            .iter()
+            .position(|r| r.var == var)
+            .expect("eliminated variable has a reconstruction record");
+        let record = self.elim_stack.remove(position);
+        for clause in record.clauses {
+            let _ = self.add_clause_root_vec(clause);
+            if !self.ok {
+                return;
+            }
+        }
+        if self.assigns[var.index()] == LBool::Undef && !self.order.contains(var) {
+            self.order.insert(var, &self.activity);
+        }
+    }
+
+    /// Completes a model over the eliminated variables (reverse elimination
+    /// order), choosing each variable's polarity to satisfy its stored
+    /// original clauses.  Called from the SAT exit of the search loop.
+    ///
+    /// Walking in reverse keeps every lookup defined: a record's clauses
+    /// were live when the record was pushed, so they mention no
+    /// earlier-eliminated variable, and every later-eliminated one has been
+    /// reconstructed by the time the walk reaches the record.
+    pub(crate) fn extend_model(&mut self) {
+        let stack = &self.elim_stack;
+        let model = &mut self.model;
+        for record in stack.iter().rev() {
+            let mut forced = None;
+            'clauses: for clause in &record.clauses {
+                let mut my_lit = None;
+                for &l in clause {
+                    if l.var() == record.var {
+                        my_lit = Some(l);
+                        continue;
+                    }
+                    if model[l.var().index()].to_bool() == Some(l.polarity()) {
+                        continue 'clauses; // satisfied without the variable
+                    }
+                }
+                // Only this record's variable can satisfy the clause; the
+                // resolvent closure guarantees no other stored clause forces
+                // the opposite polarity.
+                forced = my_lit.map(|l| l.polarity());
+                break;
+            }
+            model[record.var.index()] = LBool::from_bool(forced.unwrap_or(false));
+        }
+    }
+}

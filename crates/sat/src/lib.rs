@@ -11,7 +11,15 @@
 //! * First-UIP conflict analysis with clause learning and non-chronological
 //!   backjumping.
 //! * VSIDS variable activities with phase saving.
-//! * Luby restarts and learnt-clause database reduction.
+//! * Glucose-style EMA restarts with trail-size blocking ([`RestartMode`]),
+//!   with Luby budgets as a portfolio mode.
+//! * LBD-tiered learnt-clause management (CORE / TIER2 / LOCAL) with
+//!   promotion on use and glue protection.
+//! * One-shot adaptive strategy switching after a warm-up conflict budget
+//!   ([`SearchStrategy`], [`Solver::strategy`]).
+//! * Bounded variable elimination at [`Solver::simplify`] checkpoints with
+//!   model reconstruction and transparent resurrection under incremental use
+//!   ([`Solver::set_frozen`], [`Solver::is_eliminated`]).
 //! * Incremental solving under assumptions ([`Solver::solve_with`]).
 //! * Activation frames for assumption-scoped clause groups that can be
 //!   logically deleted without losing learnt clauses
@@ -50,13 +58,15 @@ mod heap;
 mod lbool;
 mod lit;
 mod luby;
+mod restart;
 mod solver;
 
 pub use cnf::CnfFormula;
 pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
 pub use lbool::LBool;
 pub use lit::{Lit, Var};
-pub use solver::{FrameId, SolveResult, Solver, SolverConfig, SolverStats};
+pub use restart::RestartMode;
+pub use solver::{FrameId, SearchStrategy, SolveResult, Solver, SolverConfig, SolverStats};
 
 // The parallel attack engine moves whole solvers across worker threads; every
 // field is owned data or an `Arc` of a `Sync` atomic, so `Solver` must stay

@@ -3,10 +3,13 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crate::clause::{ClauseDb, ClauseRef};
+use crate::clause::{ClauseDb, ClauseRef, Tier};
 use crate::heap::VarOrderHeap;
-use crate::luby::luby;
-use crate::{CnfFormula, LBool, Lit, Var};
+use crate::restart::{RestartDecision, RestartState};
+use crate::{CnfFormula, LBool, Lit, RestartMode, Var};
+
+#[path = "eliminate.rs"]
+mod eliminate;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,10 +43,38 @@ pub struct SolverStats {
     pub decisions: u64,
     /// Number of literals propagated.
     pub propagations: u64,
-    /// Number of restarts performed.
+    /// Number of restarts performed (Luby and EMA-forced combined).
     pub restarts: u64,
+    /// Restarts taken because a Luby conflict budget ran out.
+    pub restarts_luby: u64,
+    /// Restarts forced by the fast/slow LBD EMA threshold
+    /// ([`SolverConfig::restart_thr`]).
+    pub restarts_ema: u64,
+    /// EMA-forced restarts suppressed by trail-size blocking
+    /// ([`SolverConfig::restart_blk`]).
+    pub restarts_blocked: u64,
+    /// Learnt-database reduction rounds performed.
+    pub reductions: u64,
     /// Number of learnt clauses currently in the database.
     pub learnt_clauses: u64,
+    /// Learnt clauses currently in the CORE tier (glue; never deleted).
+    pub core_clauses: u64,
+    /// Learnt clauses currently in the TIER2 tier (kept while used).
+    pub tier2_clauses: u64,
+    /// Learnt clauses currently in the LOCAL tier (evictable).
+    pub local_clauses: u64,
+    /// Variables removed by bounded variable elimination, cumulatively.
+    pub vars_eliminated: u64,
+    /// Eliminated variables re-introduced because a later clause or
+    /// assumption referenced them, cumulatively.
+    pub vars_resurrected: u64,
+    /// Adaptive strategy switches performed (0 or 1 per solver: the
+    /// classification after the warm-up budget is one-shot).
+    pub strategy_switches: u64,
+    /// Fast (recent-window) learnt-LBD EMA ×1000 at the last snapshot.
+    pub ema_lbd_fast_milli: u64,
+    /// Slow (long-run) learnt-LBD EMA ×1000 at the last snapshot.
+    pub ema_lbd_slow_milli: u64,
     /// Number of `solve`/`solve_with` invocations.
     pub solves: u64,
     /// Current size of the clause arena in bytes (live + wasted).
@@ -71,7 +102,19 @@ impl SolverStats {
         self.decisions += other.decisions;
         self.propagations += other.propagations;
         self.restarts += other.restarts;
+        self.restarts_luby += other.restarts_luby;
+        self.restarts_ema += other.restarts_ema;
+        self.restarts_blocked += other.restarts_blocked;
+        self.reductions += other.reductions;
         self.learnt_clauses += other.learnt_clauses;
+        self.core_clauses += other.core_clauses;
+        self.tier2_clauses += other.tier2_clauses;
+        self.local_clauses += other.local_clauses;
+        self.vars_eliminated += other.vars_eliminated;
+        self.vars_resurrected += other.vars_resurrected;
+        self.strategy_switches += other.strategy_switches;
+        self.ema_lbd_fast_milli += other.ema_lbd_fast_milli;
+        self.ema_lbd_slow_milli += other.ema_lbd_slow_milli;
         self.solves += other.solves;
         self.arena_bytes += other.arena_bytes;
         self.wasted_bytes += other.wasted_bytes;
@@ -103,11 +146,106 @@ pub struct SolverConfig {
     pub cla_decay: f64,
     /// Base conflict budget of the Luby restart sequence (default 100).
     ///
-    /// Every restart budget is this value times the next Luby multiplier.
-    /// Smaller bases restart aggressively (good on shuffled/adversarial
-    /// instances, and a cheap source of portfolio diversity); larger bases
-    /// let each probe run deeper before abandoning its decision prefix.
+    /// Only consulted in [`RestartMode::Luby`]: every restart budget is this
+    /// value times the next Luby multiplier.  Smaller bases restart
+    /// aggressively (good on shuffled/adversarial instances, and a cheap
+    /// source of portfolio diversity); larger bases let each probe run deeper
+    /// before abandoning its decision prefix.
     pub restart_base: u64,
+    /// Restart pacing discipline (default [`RestartMode::Ema`]).
+    ///
+    /// EMA restarts adapt to the instance — they fire exactly when the
+    /// search starts producing worse-than-usual clauses — and win on most
+    /// structured instances; Luby is the robust, noise-immune fallback and
+    /// the classic way to decorrelate portfolio members.
+    pub restart_mode: RestartMode,
+    /// EMA forcing threshold (default 1.25): restart when the fast LBD EMA
+    /// exceeds this multiple of the slow one.
+    ///
+    /// Lower values (→ 1.0) restart at the slightest quality dip —
+    /// Glucose-aggressive, strong on unsatisfiable instances; higher values
+    /// demand a clear degradation first and favour satisfiable instances by
+    /// letting promising descents run.  Only used in [`RestartMode::Ema`].
+    pub restart_thr: f64,
+    /// Trail-blocking threshold (default 1.4): a forced restart is suppressed
+    /// while the trail is more than this multiple of its long-run average.
+    ///
+    /// A deep trail means the solver has committed far more of the instance
+    /// than usual — likely approaching a model — so throwing the prefix away
+    /// would be wasteful.  Raise toward ∞ to never block (pure Glucose
+    /// forcing); lower toward 1.0 to block often (model-chasing).  Only used
+    /// in [`RestartMode::Ema`].
+    pub restart_blk: f64,
+    /// Minimum conflicts between EMA restart decisions (default 50).
+    ///
+    /// Acts as both the warm-up for the fast EMA after each restart and a
+    /// floor on run length, exactly like the 50-entry `LbdQueue` refill rule
+    /// in Glucose.  Smaller steps chase the EMAs nervously; larger steps
+    /// approximate fixed-interval restarts.  Only used in
+    /// [`RestartMode::Ema`].
+    pub restart_step: u64,
+    /// LBD at or below which a learnt clause enters the CORE tier and is
+    /// never deleted by database reduction (default 3, the Chan-Seok bound).
+    ///
+    /// Raising it keeps more clauses forever — helpful when the instance
+    /// rewards accumulated lemmas (the adaptive `LowDecisions` strategy does
+    /// exactly this), at the cost of database growth; 0 disables the CORE
+    /// tier entirely and every learnt clause competes for survival.
+    pub co_lbd_bound: u32,
+    /// LBD at or below which a learnt clause enters the TIER2 tier
+    /// (default 6).
+    ///
+    /// TIER2 clauses survive reduction rounds in which they participated in
+    /// a conflict and are demoted to LOCAL otherwise.  Must be at least
+    /// `co_lbd_bound` to be meaningful; setting it equal collapses the
+    /// middle tier.
+    pub tier2_lbd_bound: u32,
+    /// Enables one-shot adaptive strategy switching (default `true`).
+    ///
+    /// After `adapt_after_conflicts` total conflicts the solver classifies
+    /// the instance from its conflict/decision profile and switches
+    /// restart/decay/tier parameters once (see [`SearchStrategy`]).  Disable
+    /// for bit-reproducible parameter trajectories or when the caller tunes
+    /// the knobs itself.
+    pub adapt_strategy: bool,
+    /// Warm-up conflict budget before the adaptive classification runs
+    /// (default 10 000 — cumulative over the solver's lifetime, so
+    /// long-lived incremental sessions classify on their real workload).
+    ///
+    /// Shorter warm-ups adapt faster but judge the instance on less
+    /// evidence; longer ones may never trigger on easy workloads.
+    pub adapt_after_conflicts: u64,
+    /// Enables bounded variable elimination at [`Solver::simplify`]
+    /// checkpoints (default `true`).
+    ///
+    /// Eliminated variables are resolved out of the clause database and
+    /// reconstructed in models on demand; variables referenced again later
+    /// (incremental use) are transparently resurrected.  Disable to keep the
+    /// clause database textually identical to what was added — the
+    /// differential suites run both settings in lockstep.
+    pub elim_vars: bool,
+    /// Occurrence cap for elimination candidates (default 16): a variable
+    /// with more than this many positive *or* negative problem-clause
+    /// occurrences is skipped.
+    ///
+    /// Raising it lets elimination chew through denser variables at
+    /// quadratically growing resolution cost per candidate.
+    pub elim_occ_limit: usize,
+    /// Clause-count growth budget of one elimination (default 0): a variable
+    /// is only eliminated if the surviving resolvents number at most
+    /// `occurrences + elim_grow`.
+    ///
+    /// 0 is the classic NiVER "never increase" rule; small positive values
+    /// (SatELite-style) eliminate more variables in exchange for a denser
+    /// database.
+    pub elim_grow: usize,
+    /// Length cap on resolvents produced by elimination (default 16): any
+    /// longer resolvent vetoes the candidate.
+    ///
+    /// Long resolvents are poor propagators and bloat the arena; the cap
+    /// keeps elimination focused on the short-clause structure (Tseitin
+    /// definitions) it is best at removing.
+    pub elim_clause_limit: usize,
     /// Initial saved phase of fresh variables (default `false`; phase saving
     /// overwrites it as the search proceeds).
     ///
@@ -138,6 +276,18 @@ impl Default for SolverConfig {
             var_decay: VAR_DECAY,
             cla_decay: CLA_DECAY,
             restart_base: RESTART_BASE,
+            restart_mode: RestartMode::Ema,
+            restart_thr: RESTART_THR,
+            restart_blk: RESTART_BLK,
+            restart_step: RESTART_STEP,
+            co_lbd_bound: CO_LBD_BOUND,
+            tier2_lbd_bound: TIER2_LBD_BOUND,
+            adapt_strategy: true,
+            adapt_after_conflicts: ADAPT_AFTER_CONFLICTS,
+            elim_vars: true,
+            elim_occ_limit: ELIM_OCC_LIMIT,
+            elim_grow: 0,
+            elim_clause_limit: ELIM_CLAUSE_LIMIT,
             default_phase: false,
             random_branch_freq: 0.0,
             seed: 0x9E37_79B9_7F4A_7C15,
@@ -149,39 +299,94 @@ impl Default for SolverConfig {
 impl SolverConfig {
     /// A deterministic family of `n` deliberately diverse configurations for
     /// portfolio solving.  Index 0 is always the default configuration; later
-    /// indices vary restart pacing, decay rates, initial phase and random
-    /// branching so the portfolio explores different parts of the search
-    /// space.
+    /// indices vary restart discipline (EMA vs Luby and their thresholds),
+    /// clause-tier bounds, inprocessing, decay rates, initial phase and
+    /// random branching so the portfolio explores different parts of the
+    /// search space.
     pub fn portfolio(n: usize) -> Vec<SolverConfig> {
         (0..n)
             .map(|i| {
                 let base = SolverConfig::default();
-                match i % 4 {
+                match i % 6 {
                     0 => base,
                     1 => SolverConfig {
+                        // Luby probing from the all-true corner.
+                        restart_mode: RestartMode::Luby,
                         default_phase: true,
                         restart_base: 50,
                         ..base
                     },
                     2 => SolverConfig {
+                        // Nervous EMA restarts chasing recent conflicts.
                         var_decay: 0.85,
-                        restart_base: 200,
+                        restart_thr: 1.1,
+                        restart_step: 30,
                         random_branch_freq: 0.02,
                         seed: base.seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407),
                         ..base
                     },
-                    _ => SolverConfig {
+                    3 => SolverConfig {
+                        // Deep Luby runs with no inprocessing or adaptation:
+                        // the conservative, trajectory-stable member.
+                        restart_mode: RestartMode::Luby,
+                        restart_base: 200,
                         var_decay: 0.99,
                         cla_decay: 0.995,
                         default_phase: true,
+                        adapt_strategy: false,
+                        elim_vars: false,
                         random_branch_freq: 0.05,
                         seed: base.seed ^ (i as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+                        ..base
+                    },
+                    4 => SolverConfig {
+                        // Hoarder: wide CORE/TIER2 bounds keep far more
+                        // lemmas; blocking kicks in early to protect deep
+                        // descents.
+                        co_lbd_bound: 5,
+                        tier2_lbd_bound: 8,
+                        restart_blk: 1.2,
+                        ..base
+                    },
+                    _ => SolverConfig {
+                        // Aggressive inprocessing with lazy restarts.
+                        elim_grow: 8,
+                        elim_occ_limit: 24,
+                        restart_thr: 1.4,
+                        default_phase: true,
+                        seed: base.seed ^ (i as u64).wrapping_mul(0xD134_2543_DE82_EF95),
                         ..base
                     },
                 }
             })
             .collect()
     }
+}
+
+/// Instance classification produced by adaptive strategy switching.
+///
+/// After [`SolverConfig::adapt_after_conflicts`] total conflicts the solver
+/// inspects its own conflict/decision profile once and switches to the
+/// matching strategy, adjusting restart, decay and tier parameters (see
+/// [`Solver::strategy`]).  The lineage is splr/Glucose's `adapt_solver`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SearchStrategy {
+    /// Warm-up: no classification has run yet.
+    #[default]
+    Initial,
+    /// No marked profile; parameters stay at their configured values.
+    Generic,
+    /// Very few decisions per conflict (long propagation chains): keep more
+    /// CORE clauses and decay variable activity slowly.
+    LowDecisions,
+    /// Long bursts of consecutive conflicts: switch to Luby restarts, which
+    /// are immune to the LBD noise such bursts produce.
+    HighSuccessive,
+    /// Conflicts arrive scattered: restart later so descents can finish.
+    LowSuccessive,
+    /// Learnt clauses are predominantly glue: chase recent conflicts with a
+    /// fast variable-activity decay.
+    ManyGlues,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -254,11 +459,63 @@ pub struct Solver {
     /// `released[v]` — is `v` in `free_vars` or `pending_release`?  Guards
     /// against double releases.
     released: Vec<bool>,
+    /// Restart pacing (Luby budgets or LBD EMAs), re-armed per solve call.
+    restart: RestartState,
+    /// Level-stamp scratch for allocation-free LBD computation: level `l`
+    /// was counted iff `lbd_stamp[l] == lbd_stamp_counter`.
+    lbd_stamp: Vec<u32>,
+    lbd_stamp_counter: u32,
+    /// Reusable candidate buffer of `reduce_db` (activity, LBD, clause).
+    reduce_scratch: Vec<(f32, u32, ClauseRef)>,
+    /// Adaptive classification result; `Initial` until the warm-up budget is
+    /// spent ([`SolverConfig::adapt_after_conflicts`]).
+    strategy: SearchStrategy,
+    /// Consecutive conflicts without an intervening decision, and the
+    /// longest such streak — one of the classification features.
+    conflict_streak: u64,
+    max_conflict_streak: u64,
+    /// Sum of learnt-clause LBDs, for the average-LBD classification feature.
+    lbd_sum: u64,
+    /// `frozen[v]` — the caller declared `v` part of its interface
+    /// ([`Solver::set_frozen`]); bounded variable elimination must keep it.
+    frozen: Vec<bool>,
+    /// `eliminated[v]` — `v` was resolved out by bounded variable
+    /// elimination; its defining clauses live on `elim_stack`.
+    eliminated: Vec<bool>,
+    /// `elim_skip[v]` — `v` was eliminated and later resurrected; never
+    /// eliminate it again (prevents eliminate/resurrect thrash).
+    elim_skip: Vec<bool>,
+    /// `frame_tagged[v]` — `v` belongs to an activation frame (the
+    /// activation variable itself or a variable allocated under a default
+    /// frame); excluded from elimination because frame retirement owns its
+    /// lifecycle.
+    frame_tagged: Vec<bool>,
+    /// Reconstruction stack of bounded variable elimination: for each
+    /// eliminated variable, the original clauses it was resolved out of, in
+    /// elimination order (model extension walks it in reverse).
+    elim_stack: Vec<eliminate::ElimRecord>,
 }
 
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESTART_BASE: u64 = 100;
+/// Default [`SolverConfig::restart_thr`] (Glucose forces at fast/slow ≈ 1.25).
+const RESTART_THR: f64 = 1.25;
+/// Default [`SolverConfig::restart_blk`] (Glucose blocks at 1.4× the trail
+/// average).
+const RESTART_BLK: f64 = 1.4;
+/// Default [`SolverConfig::restart_step`] (Glucose's 50-entry LBD window).
+const RESTART_STEP: u64 = 50;
+/// Default [`SolverConfig::co_lbd_bound`] (the Chan-Seok CORE bound).
+const CO_LBD_BOUND: u32 = 3;
+/// Default [`SolverConfig::tier2_lbd_bound`].
+const TIER2_LBD_BOUND: u32 = 6;
+/// Default [`SolverConfig::adapt_after_conflicts`].
+const ADAPT_AFTER_CONFLICTS: u64 = 10_000;
+/// Default [`SolverConfig::elim_occ_limit`].
+const ELIM_OCC_LIMIT: usize = 16;
+/// Default [`SolverConfig::elim_clause_limit`].
+const ELIM_CLAUSE_LIMIT: usize = 16;
 /// Default [`SolverConfig::gc_wasted_ratio`], following the MiniSat lineage
 /// (batsat uses 0.20): compact once a fifth of the arena is tombstones.
 const GC_WASTED_RATIO: f64 = 0.20;
@@ -272,6 +529,7 @@ impl Solver {
     /// Creates an empty solver using the given search configuration.
     pub fn with_config(config: SolverConfig) -> Solver {
         let rng_state = config.seed | 1;
+        let restart = RestartState::new(config.restart_mode, config.restart_base);
         Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
@@ -281,6 +539,7 @@ impl Solver {
             order: VarOrderHeap::new(),
             config,
             rng_state,
+            restart,
             ..Solver::default()
         }
     }
@@ -335,6 +594,7 @@ impl Solver {
         };
         if let Some(frame) = self.default_frame {
             self.frames[frame.0 as usize].vars.push(var);
+            self.frame_tagged[var.index()] = true;
         }
         var
     }
@@ -352,6 +612,10 @@ impl Solver {
         self.activity.push(0.0);
         self.seen.push(false);
         self.released.push(false);
+        self.frozen.push(false);
+        self.eliminated.push(false);
+        self.elim_skip.push(false);
+        self.frame_tagged.push(false);
         self.order.grow_to(self.num_vars);
         self.order.insert(var, &self.activity);
         var
@@ -369,6 +633,10 @@ impl Solver {
         self.level[var.index()] = 0;
         self.activity[var.index()] = 0.0;
         self.seen[var.index()] = false;
+        self.frozen[var.index()] = false;
+        self.eliminated[var.index()] = false;
+        self.elim_skip[var.index()] = false;
+        self.frame_tagged[var.index()] = false;
         if !self.order.contains(var) {
             self.order.insert(var, &self.activity);
         }
@@ -439,9 +707,53 @@ impl Solver {
     pub fn stats(&self) -> SolverStats {
         let mut stats = self.stats;
         stats.learnt_clauses = self.db.num_learnt() as u64;
+        stats.core_clauses = self.db.tier_count(Tier::Core) as u64;
+        stats.tier2_clauses = self.db.tier_count(Tier::Tier2) as u64;
+        stats.local_clauses = self.db.tier_count(Tier::Local) as u64;
         stats.arena_bytes = (self.db.arena_words() * 4) as u64;
         stats.wasted_bytes = (self.db.wasted_words() * 4) as u64;
+        stats.ema_lbd_fast_milli = self.restart.ema_fast_milli();
+        stats.ema_lbd_slow_milli = self.restart.ema_slow_milli();
         stats
+    }
+
+    /// The adaptive classification of this solver's workload, or
+    /// [`SearchStrategy::Initial`] while the warm-up budget
+    /// ([`SolverConfig::adapt_after_conflicts`]) is still being spent.
+    pub fn strategy(&self) -> SearchStrategy {
+        self.strategy
+    }
+
+    /// Marks a variable as part of the caller's interface (or clears the
+    /// mark): frozen variables are never removed by bounded variable
+    /// elimination, so their model values and future mentions stay cheap.
+    ///
+    /// Freezing is advisory-but-recommended for variables the caller will
+    /// keep referencing (keys, inputs, outputs of an encoded circuit):
+    /// referencing a non-frozen eliminated variable still works, but pays a
+    /// resurrection (the variable's original clauses are re-added).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable was never created.
+    pub fn set_frozen(&mut self, var: Var, frozen: bool) {
+        assert!(var.index() < self.num_vars, "unknown variable");
+        self.frozen[var.index()] = frozen;
+        if frozen && self.eliminated[var.index()] {
+            self.resurrect_var(var);
+        }
+    }
+
+    /// Whether [`Solver::set_frozen`] marked this variable.
+    pub fn is_frozen(&self, var: Var) -> bool {
+        self.frozen[var.index()]
+    }
+
+    /// Whether bounded variable elimination currently has this variable
+    /// resolved out of the clause database.  Eliminated variables still get
+    /// model values ([`Solver::value`]) via reconstruction.
+    pub fn is_eliminated(&self, var: Var) -> bool {
+        self.eliminated[var.index()]
     }
 
     /// Number of variables currently waiting in the recycling free list.
@@ -489,16 +801,38 @@ impl Solver {
     where
         I: IntoIterator<Item = Lit>,
     {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        let _ = self.add_clause_root_vec(clause);
+    }
+
+    /// [`Solver::add_clause_root`] returning the allocated clause when the
+    /// level-0-simplified clause has two or more literals (the handle the
+    /// variable eliminator needs to index its occurrence lists).
+    fn add_clause_root_vec(&mut self, mut clause: Vec<Lit>) -> Option<ClauseRef> {
         debug_assert_eq!(self.decision_level(), 0);
         if !self.ok {
-            return;
+            return None;
         }
-        let mut clause: Vec<Lit> = lits.into_iter().collect();
         for lit in &clause {
             assert!(
                 lit.var().index() < self.num_vars,
                 "literal {lit} references unknown variable"
             );
+        }
+        // A clause referencing an eliminated variable re-opens it: put the
+        // variable's original clauses back (they imply every resolvent that
+        // replaced them, so re-adding restores exact equivalence) before the
+        // new clause lands.
+        if clause.iter().any(|l| self.eliminated[l.var().index()]) {
+            for lit in &clause {
+                let var = lit.var();
+                if self.eliminated[var.index()] {
+                    self.resurrect_var(var);
+                }
+            }
+            if !self.ok {
+                return None;
+            }
         }
         clause.sort_unstable();
         clause.dedup();
@@ -521,21 +855,24 @@ impl Solver {
             }
         }
         if satisfied {
-            return;
+            return None;
         }
         self.num_problem_clauses += 1;
         match simplified.len() {
             0 => {
                 self.ok = false;
+                None
             }
             1 => {
                 if !self.enqueue_checked(simplified[0], None) || self.propagate().is_some() {
                     self.ok = false;
                 }
+                None
             }
             _ => {
                 let cref = self.db.alloc(&simplified, false);
                 self.attach_clause(cref);
+                Some(cref)
             }
         }
     }
@@ -563,6 +900,9 @@ impl Solver {
         let caller_default = self.default_frame.take();
         let lit = Lit::positive(self.new_var());
         self.default_frame = caller_default;
+        // Frame lifecycle owns the activation variable: elimination must
+        // never touch it.
+        self.frame_tagged[lit.var().index()] = true;
         let id = FrameId(self.frames.len() as u32);
         self.frames.push(Frame {
             lit,
@@ -705,6 +1045,7 @@ impl Solver {
         }
         self.prune_watchers();
         self.process_releases();
+        self.eliminate_vars();
         self.db.compact_live();
         self.maybe_gc();
     }
@@ -775,6 +1116,17 @@ impl Solver {
         for cref in self.db.live_refs() {
             for l in self.db.lits(cref) {
                 mentioned[l.var().index()] = true;
+            }
+        }
+        // The elimination reconstruction stack references variables outside
+        // the live clause set; reclaiming one would let `new_var` hand it out
+        // with a different meaning while stored clauses still mention it.
+        for record in &self.elim_stack {
+            mentioned[record.var.index()] = true;
+            for clause in &record.clauses {
+                for l in clause {
+                    mentioned[l.var().index()] = true;
+                }
             }
         }
 
@@ -876,19 +1228,29 @@ impl Solver {
             );
         }
         self.assumptions = assumptions.to_vec();
+        // Assuming an eliminated variable re-opens it, exactly like adding a
+        // clause over it would.
+        for i in 0..self.assumptions.len() {
+            let var = self.assumptions[i].var();
+            if self.eliminated[var.index()] {
+                self.resurrect_var(var);
+            }
+        }
+        if !self.ok {
+            self.assumptions.clear();
+            return SolveResult::Unsat;
+        }
         self.budget_conflicts_start = self.stats.conflicts;
         self.budget_propagations_start = self.stats.propagations;
         self.max_learnts = (self.num_problem_clauses as f64 / 3.0).max(1000.0);
         self.model.clear();
+        self.restart
+            .reset_for_solve(self.config.restart_mode, self.config.restart_base);
 
-        let mut restarts = 0u64;
         let result = loop {
-            let budget = self.config.restart_base * luby(restarts);
-            match self.search(budget) {
+            match self.search() {
                 Some(result) => break result,
                 None => {
-                    restarts += 1;
-                    self.stats.restarts += 1;
                     if self.budget_exhausted() {
                         break SolveResult::Unknown;
                     }
@@ -1136,7 +1498,7 @@ impl Solver {
         }
         let index = (self.next_random() % self.num_vars as u64) as usize;
         let var = Var::from_index(index);
-        (self.assigns[index] == LBool::Undef).then_some(var)
+        (self.assigns[index] == LBool::Undef && !self.eliminated[index]).then_some(var)
     }
 
     /// First-UIP conflict analysis.  Returns the learnt clause (asserting
@@ -1150,7 +1512,7 @@ impl Solver {
 
         loop {
             if self.db.is_learnt(confl) {
-                self.bump_clause(confl);
+                self.notice_clause_use(confl);
             }
             let start = usize::from(p.is_some());
             // Indexed access instead of copying the literals out: the arena
@@ -1230,25 +1592,98 @@ impl Solver {
         }
     }
 
-    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+    /// Records the learnt clause from conflict analysis and returns its LBD
+    /// (1 for unit clauses), which feeds the restart EMAs.
+    fn record_learnt(&mut self, learnt: Vec<Lit>) -> u32 {
         let asserting = learnt[0];
         if learnt.len() == 1 {
             self.unchecked_enqueue(asserting, None);
+            1
         } else {
             let lbd = self.compute_lbd(&learnt);
             let cref = self.db.alloc(&learnt, true);
             self.db.set_lbd(cref, lbd);
+            let tier = if lbd <= self.config.co_lbd_bound {
+                Tier::Core
+            } else if lbd <= self.config.tier2_lbd_bound {
+                Tier::Tier2
+            } else {
+                Tier::Local
+            };
+            if tier != Tier::Local {
+                self.db.set_tier(cref, tier);
+            }
             self.attach_clause(cref);
             self.bump_clause(cref);
             self.unchecked_enqueue(asserting, Some(cref));
+            lbd
         }
     }
 
-    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
-        levels.sort_unstable();
-        levels.dedup();
-        levels.len() as u32
+    /// Advances the level-stamp epoch, growing/clearing the scratch as
+    /// needed, and returns the fresh stamp value.
+    fn next_lbd_stamp(&mut self) -> u32 {
+        if self.lbd_stamp.len() <= self.num_vars {
+            // Decision levels never exceed the variable count.
+            self.lbd_stamp.resize(self.num_vars + 1, 0);
+        }
+        self.lbd_stamp_counter = self.lbd_stamp_counter.wrapping_add(1);
+        if self.lbd_stamp_counter == 0 {
+            self.lbd_stamp.fill(0);
+            self.lbd_stamp_counter = 1;
+        }
+        self.lbd_stamp_counter
+    }
+
+    /// Literal block distance of `lits` under the current assignment —
+    /// distinct decision levels, counted allocation-free via level stamps.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        let stamp = self.next_lbd_stamp();
+        let mut distinct = 0u32;
+        for l in lits {
+            let level = self.level[l.var().index()] as usize;
+            if self.lbd_stamp[level] != stamp {
+                self.lbd_stamp[level] = stamp;
+                distinct += 1;
+            }
+        }
+        distinct
+    }
+
+    /// [`Solver::compute_lbd`] over a stored clause, by indexed access (the
+    /// arena cannot be borrowed as a slice while the stamps are written).
+    fn clause_lbd(&mut self, cref: ClauseRef) -> u32 {
+        let stamp = self.next_lbd_stamp();
+        let mut distinct = 0u32;
+        for position in 0..self.db.len(cref) {
+            let level = self.level[self.db.lit(cref, position).var().index()] as usize;
+            if self.lbd_stamp[level] != stamp {
+                self.lbd_stamp[level] = stamp;
+                distinct += 1;
+            }
+        }
+        distinct
+    }
+
+    /// Bookkeeping when a learnt clause participates in conflict analysis:
+    /// bump its activity, mark it used (which shields TIER2 members at the
+    /// next reduction) and recompute its LBD, promoting it on improvement —
+    /// the Glucose "LBD updated during conflict analysis" rule.
+    fn notice_clause_use(&mut self, cref: ClauseRef) {
+        self.bump_clause(cref);
+        self.db.set_used(cref, true);
+        let old = self.db.lbd(cref);
+        if old > 1 {
+            let new = self.clause_lbd(cref);
+            if new < old {
+                self.db.set_lbd(cref, new);
+                if new <= self.config.co_lbd_bound {
+                    self.db.set_tier(cref, Tier::Core);
+                } else if new <= self.config.tier2_lbd_bound && self.db.tier(cref) == Tier::Local {
+                    self.db.set_tier(cref, Tier::Tier2);
+                }
+            }
+        }
     }
 
     fn clause_locked(&self, cref: ClauseRef) -> bool {
@@ -1259,45 +1694,134 @@ impl Solver {
         self.lit_value(l0) == LBool::True && self.reason[l0.var().index()] == Some(cref)
     }
 
+    /// Tiered learnt-database reduction (Chan-Seok / Glucose lineage).
+    ///
+    /// CORE clauses are never deleted.  TIER2 clauses that participated in a
+    /// conflict since the last round stay (their used flag is cleared);
+    /// idle ones are demoted to LOCAL, where they compete from the next
+    /// round on.  The lowest-activity half of the LOCAL tier (ties broken by
+    /// larger LBD) is evicted, skipping binary and locked clauses.  The
+    /// candidate buffer is reused across rounds — reduction allocates
+    /// nothing in steady state.
     fn reduce_db(&mut self) {
-        let mut candidates: Vec<(f32, u32, ClauseRef)> = self
-            .db
-            .learnt_refs()
-            .filter(|&cref| self.db.len(cref) > 2 && !self.clause_locked(cref))
-            .map(|cref| (self.db.activity(cref), self.db.lbd(cref), cref))
-            .collect();
+        self.stats.reductions += 1;
+        let mut scratch = std::mem::take(&mut self.reduce_scratch);
+        scratch.clear();
+        scratch.extend(
+            self.db
+                .learnt_refs()
+                .map(|cref| (self.db.activity(cref), self.db.lbd(cref), cref)),
+        );
+        // Tier maintenance pass; LOCAL clauses become eviction candidates,
+        // compacted to the front of the scratch buffer.
+        let mut candidates = 0usize;
+        for i in 0..scratch.len() {
+            let entry = scratch[i];
+            let cref = entry.2;
+            match self.db.tier(cref) {
+                Tier::Core => self.db.set_used(cref, false),
+                Tier::Tier2 => {
+                    if self.db.is_used(cref) {
+                        self.db.set_used(cref, false);
+                    } else {
+                        self.db.set_tier(cref, Tier::Local);
+                    }
+                }
+                Tier::Local => {
+                    if self.db.len(cref) > 2 && !self.clause_locked(cref) {
+                        scratch[candidates] = entry;
+                        candidates += 1;
+                    }
+                }
+            }
+        }
+        scratch.truncate(candidates);
         // Remove the half with the lowest activity (ties broken by larger LBD).
-        candidates.sort_by(|a, b| {
+        scratch.sort_by(|a, b| {
             a.0.partial_cmp(&b.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(b.1.cmp(&a.1))
         });
-        let to_remove = candidates.len() / 2;
-        for &(_, _, cref) in candidates.iter().take(to_remove) {
+        let to_remove = scratch.len() / 2;
+        for &(_, _, cref) in scratch.iter().take(to_remove) {
             self.db.delete(cref);
         }
+        self.reduce_scratch = scratch;
         self.max_learnts *= 1.1;
         self.maybe_gc();
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(var) = self.order.pop_max(&self.activity) {
-            if self.assigns[var.index()] == LBool::Undef {
+            if self.assigns[var.index()] == LBool::Undef && !self.eliminated[var.index()] {
                 return Some(var);
             }
         }
         None
     }
 
-    /// Runs the CDCL loop for up to `conflict_limit` conflicts.
+    /// One-shot instance classification (adaptive strategy switching).
     ///
-    /// Returns `Some(result)` when decided, or `None` to request a restart.
-    fn search(&mut self, conflict_limit: u64) -> Option<SolveResult> {
-        let mut conflicts_here = 0u64;
+    /// After `adapt_after_conflicts` cumulative conflicts, the search profile
+    /// gathered so far — decisions per conflict, the longest run of
+    /// consecutive conflicts, and the average learnt-clause LBD — picks a
+    /// [`SearchStrategy`] and retunes restart/decay/tier parameters to match,
+    /// in the spirit of splr's `SearchStrategy` adaptation.  Runs at most
+    /// once per solver lifetime so long-lived incremental sessions settle on
+    /// a profile instead of oscillating.
+    fn maybe_adapt(&mut self) {
+        if !self.config.adapt_strategy
+            || self.strategy != SearchStrategy::Initial
+            || self.stats.conflicts < self.config.adapt_after_conflicts
+        {
+            return;
+        }
+        let conflicts = self.stats.conflicts.max(1) as f64;
+        let decisions_per_conflict = self.stats.decisions as f64 / conflicts;
+        let average_lbd = self.lbd_sum as f64 / conflicts;
+        let strategy = if decisions_per_conflict < 1.2 {
+            // Propagation-dominated: almost every decision conflicts, so keep
+            // more clauses and slow the activity churn.
+            self.config.co_lbd_bound = self.config.co_lbd_bound.max(4);
+            self.config.var_decay = 0.99;
+            SearchStrategy::LowDecisions
+        } else if self.max_conflict_streak >= 100 {
+            // Long conflict bursts: EMA forcing fires constantly and just
+            // thrashes; fall back to the noise-immune Luby schedule.
+            self.config.restart_mode = RestartMode::Luby;
+            self.restart
+                .set_mode(RestartMode::Luby, self.config.restart_base);
+            self.config.var_decay = 0.99;
+            SearchStrategy::HighSuccessive
+        } else if average_lbd < 4.0 {
+            // Glue-rich: the learnt clauses are strong, so churn activities
+            // faster to exploit them.
+            self.config.var_decay = 0.91;
+            SearchStrategy::ManyGlues
+        } else if self.max_conflict_streak < 5 {
+            // Conflicts arrive isolated; restarts rarely help, so demand a
+            // larger LBD degradation before forcing one.
+            self.config.restart_thr = self.config.restart_thr.max(1.4);
+            SearchStrategy::LowSuccessive
+        } else {
+            SearchStrategy::Generic
+        };
+        self.strategy = strategy;
+        if strategy != SearchStrategy::Generic {
+            self.stats.strategy_switches += 1;
+        }
+    }
+
+    /// Runs the CDCL loop until decided or a restart fires.
+    ///
+    /// Returns `Some(result)` when decided, or `None` to request a restart
+    /// (pacing is delegated to the [`RestartState`]).
+    fn search(&mut self) -> Option<SolveResult> {
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
-                conflicts_here += 1;
+                self.conflict_streak += 1;
+                self.max_conflict_streak = self.max_conflict_streak.max(self.conflict_streak);
                 if self.stats.conflicts.is_multiple_of(128) && self.interrupted() {
                     return Some(SolveResult::Unknown);
                 }
@@ -1307,21 +1831,41 @@ impl Solver {
                 }
                 let (learnt, backtrack_level) = self.analyze(confl);
                 self.cancel_until(backtrack_level);
-                self.record_learnt(learnt);
+                let lbd = self.record_learnt(learnt);
+                self.lbd_sum += u64::from(lbd);
+                self.restart.on_conflict(lbd, self.trail.len());
                 self.decay_activities();
+                self.maybe_adapt();
                 // Cheap threshold check; only compacts when the wasted
                 // fraction crossed `gc_wasted_ratio` (every conflict in the
                 // forced-GC testing mode, ratio 0.0).
                 self.maybe_gc();
             } else {
+                self.conflict_streak = 0;
                 if self.budget_exhausted() {
                     return Some(SolveResult::Unknown);
                 }
-                if conflicts_here >= conflict_limit {
-                    self.cancel_until(0);
-                    return None;
+                match self.restart.check(self.trail.len(), &self.config) {
+                    RestartDecision::Continue => {}
+                    RestartDecision::Blocked => {
+                        self.stats.restarts_blocked += 1;
+                    }
+                    RestartDecision::RestartLuby => {
+                        self.stats.restarts += 1;
+                        self.stats.restarts_luby += 1;
+                        self.restart.on_restart(self.config.restart_base);
+                        self.cancel_until(0);
+                        return None;
+                    }
+                    RestartDecision::RestartEma => {
+                        self.stats.restarts += 1;
+                        self.stats.restarts_ema += 1;
+                        self.restart.on_restart(self.config.restart_base);
+                        self.cancel_until(0);
+                        return None;
+                    }
                 }
-                if self.db.num_learnt() as f64 >= self.max_learnts {
+                if self.db.num_removable() as f64 >= self.max_learnts {
                     self.reduce_db();
                 }
                 // Handle assumptions, then fall back to the activity heuristic.
@@ -1353,7 +1897,10 @@ impl Solver {
                 match decision {
                     None => {
                         // Every variable is assigned: we have a model.
+                        // Eliminated variables were never branched on; the
+                        // reconstruction stack fills them in.
                         self.model = self.assigns.clone();
+                        self.extend_model();
                         return Some(SolveResult::Sat);
                     }
                     Some(lit) => {
@@ -1995,5 +2542,263 @@ mod tests {
         assert_eq!(s.var_value(Var::from_index(2)), Some(false));
         assert_eq!(s.var_value(Var::from_index(1)), Some(false));
         assert_eq!(s.var_value(Var::from_index(0)), Some(true));
+    }
+
+    /// A Tseitin-style definition `d <-> (a & b)` makes `d` a textbook
+    /// elimination candidate: 2 positive / 1 negative occurrences, and the
+    /// resolvent set does not grow the database.
+    fn gate_solver() -> Solver {
+        // d <-> (a & b): (-d a) (-d b) (d -a -b), plus a side constraint so
+        // the instance is not trivially empty after elimination.  `a` and
+        // `b` are frozen interface variables (the usual pattern), leaving
+        // the definition variable `d` as the elimination target.
+        let mut s = solver_with(3, &[&[-3, 1], &[-3, 2], &[3, -1, -2], &[1, 2]]);
+        s.set_frozen(Var::from_index(0), true);
+        s.set_frozen(Var::from_index(1), true);
+        s
+    }
+
+    #[test]
+    fn simplify_eliminates_gate_variable_and_model_is_reconstructed() {
+        let mut s = gate_solver();
+        let d = Var::from_index(2);
+        s.simplify();
+        assert!(s.is_eliminated(d), "definition variable gets resolved out");
+        assert_eq!(s.stats().vars_eliminated, 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // The reconstructed model must satisfy the original gate clauses.
+        let a = s.var_value(Var::from_index(0)).unwrap();
+        let b = s.var_value(Var::from_index(1)).unwrap();
+        let dv = s
+            .var_value(d)
+            .expect("eliminated variables get model values");
+        assert_eq!(dv, a && b, "d <-> (a & b) holds in the extended model");
+        assert!(a || b, "side constraint holds");
+    }
+
+    #[test]
+    fn referencing_an_eliminated_variable_resurrects_it() {
+        let mut s = gate_solver();
+        let d = Var::from_index(2);
+        s.simplify();
+        assert!(s.is_eliminated(d));
+        // A new clause over `d` must reopen it and stay sound: force d true,
+        // which through the gate forces a and b true.
+        s.add_clause([Lit::positive(d)]);
+        assert!(!s.is_eliminated(d), "mentioning the variable resurrects it");
+        assert_eq!(s.stats().vars_resurrected, 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.var_value(Var::from_index(0)), Some(true));
+        assert_eq!(s.var_value(Var::from_index(1)), Some(true));
+        // Resurrected variables are never re-eliminated.
+        s.simplify();
+        assert!(!s.is_eliminated(d));
+    }
+
+    #[test]
+    fn assuming_an_eliminated_variable_resurrects_it() {
+        let mut s = gate_solver();
+        let d = Var::from_index(2);
+        s.simplify();
+        assert!(s.is_eliminated(d));
+        assert_eq!(s.solve_with(&[Lit::positive(d)]), SolveResult::Sat);
+        assert!(!s.is_eliminated(d));
+        assert_eq!(s.var_value(Var::from_index(0)), Some(true));
+        assert_eq!(s.var_value(Var::from_index(1)), Some(true));
+        assert_eq!(s.solve_with(&[Lit::negative(d)]), SolveResult::Sat);
+        let a = s.var_value(Var::from_index(0)).unwrap();
+        let b = s.var_value(Var::from_index(1)).unwrap();
+        assert!(!(a && b), "-d forces the gate off");
+    }
+
+    #[test]
+    fn frozen_variables_are_never_eliminated() {
+        let mut s = gate_solver();
+        let d = Var::from_index(2);
+        s.set_frozen(d, true);
+        s.simplify();
+        assert!(!s.is_eliminated(d), "frozen variables are interface");
+        assert_eq!(s.stats().vars_eliminated, 0, "all three variables frozen");
+        assert!(s.is_frozen(d));
+        s.set_frozen(d, false);
+        s.simplify();
+        assert!(s.is_eliminated(d), "unfreezing re-enables elimination");
+    }
+
+    #[test]
+    fn freezing_an_eliminated_variable_resurrects_it() {
+        let mut s = gate_solver();
+        let d = Var::from_index(2);
+        s.simplify();
+        assert!(s.is_eliminated(d));
+        s.set_frozen(d, true);
+        assert!(!s.is_eliminated(d));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn elim_vars_off_disables_the_pass() {
+        let mut s = Solver::with_config(SolverConfig {
+            elim_vars: false,
+            ..SolverConfig::default()
+        });
+        s.ensure_vars(3);
+        for c in [&[-3i32, 1][..], &[-3, 2], &[3, -1, -2], &[1, 2]] {
+            s.add_clause(lits(c));
+        }
+        s.simplify();
+        assert_eq!(s.stats().vars_eliminated, 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn frame_variables_survive_elimination_and_retirement_stays_sound() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        let frame = s.push_frame();
+        s.set_default_frame(Some(frame));
+        let t = s.new_var(); // frame-tagged Tseitin-style variable
+        s.add_clause([Lit::negative(t), Lit::positive(Var::from_index(0))]);
+        s.add_clause([Lit::positive(t)]);
+        s.set_default_frame(None);
+        s.simplify();
+        assert!(
+            !s.is_eliminated(t),
+            "frame-tagged variables are owned by frame retirement"
+        );
+        assert_eq!(s.solve_in(&[frame], &[]), SolveResult::Sat);
+        assert_eq!(s.var_value(Var::from_index(0)), Some(true));
+        s.retire_frame(frame);
+        s.simplify();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn elimination_differential_on_random_instances() {
+        // Lockstep: elimination on vs off must agree on satisfiability, and
+        // reconstructed models must satisfy every original clause.
+        let mut seed = 0x1234_5678_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as usize
+        };
+        for round in 0..60 {
+            let num_vars = 6 + next() % 8;
+            let num_clauses = 8 + next() % 24;
+            let mut clauses: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..num_clauses {
+                let len = 1 + next() % 3;
+                let mut c: Vec<i32> = Vec::new();
+                for _ in 0..len {
+                    let v = 1 + (next() % num_vars) as i32;
+                    c.push(if next() % 2 == 0 { v } else { -v });
+                }
+                clauses.push(c);
+            }
+            let build = |elim: bool| {
+                let mut s = Solver::with_config(SolverConfig {
+                    elim_vars: elim,
+                    ..SolverConfig::default()
+                });
+                s.ensure_vars(num_vars);
+                for c in &clauses {
+                    s.add_clause(lits(c));
+                }
+                s
+            };
+            let mut with = build(true);
+            let mut without = build(false);
+            with.simplify();
+            without.simplify();
+            let r1 = with.solve();
+            let r2 = without.solve();
+            assert_eq!(r1, r2, "round {round}: statuses diverge");
+            if r1 == SolveResult::Sat {
+                for c in &clauses {
+                    assert!(
+                        lits(c).iter().any(|&l| with.value(l) == Some(true)),
+                        "round {round}: reconstructed model violates {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_strategy_classifies_after_warmup() {
+        let mut config = SolverConfig {
+            adapt_after_conflicts: 50,
+            ..SolverConfig::default()
+        };
+        config.seed = 7;
+        let mut s = Solver::with_config(config);
+        assert_eq!(s.strategy(), SearchStrategy::Initial);
+        // A hard random 3-SAT-ish instance at the phase-transition ratio
+        // produces plenty of conflicts to spend the warm-up budget.
+        let mut seed = 0xABCD_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as usize
+        };
+        let num_vars = 30;
+        s.ensure_vars(num_vars);
+        for _ in 0..128 {
+            let mut c: Vec<i32> = Vec::new();
+            for _ in 0..3 {
+                let v = 1 + (next() % num_vars) as i32;
+                c.push(if next() % 2 == 0 { v } else { -v });
+            }
+            s.add_clause(lits(&c));
+        }
+        let _ = s.solve();
+        if s.stats().conflicts >= 50 {
+            assert_ne!(
+                s.strategy(),
+                SearchStrategy::Initial,
+                "warm-up spent, classification must have run"
+            );
+        }
+    }
+
+    #[test]
+    fn adapt_strategy_off_keeps_initial() {
+        let mut s = Solver::with_config(SolverConfig {
+            adapt_strategy: false,
+            adapt_after_conflicts: 1,
+            ..SolverConfig::default()
+        });
+        s.ensure_vars(8);
+        for c in [&[1i32, 2][..], &[-1, 3], &[-3, -2], &[2, -3, 1]] {
+            s.add_clause(lits(c));
+        }
+        let _ = s.solve();
+        assert_eq!(s.strategy(), SearchStrategy::Initial);
+    }
+
+    #[test]
+    fn luby_mode_counts_luby_restarts() {
+        let mut s = Solver::with_config(SolverConfig {
+            restart_mode: RestartMode::Luby,
+            restart_base: 1,
+            ..SolverConfig::default()
+        });
+        let mut seed = 0x5555_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as usize
+        };
+        let num_vars = 20;
+        s.ensure_vars(num_vars);
+        for _ in 0..90 {
+            let mut c: Vec<i32> = Vec::new();
+            for _ in 0..3 {
+                let v = 1 + (next() % num_vars) as i32;
+                c.push(if next() % 2 == 0 { v } else { -v });
+            }
+            s.add_clause(lits(&c));
+        }
+        let _ = s.solve();
+        let stats = s.stats();
+        assert_eq!(stats.restarts, stats.restarts_luby);
+        assert_eq!(stats.restarts_ema, 0);
     }
 }

@@ -26,7 +26,7 @@ use netlist::random::{generate, RandomCircuitSpec};
 use netlist::GateKind;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sat::{SolveResult, SolverConfig};
+use sat::{Lit, SolveResult, Solver, SolverConfig, Var};
 
 /// Safety cap on distinguishing-input iterations per case.
 const MAX_ITERATIONS: usize = 400;
@@ -41,6 +41,23 @@ fn forced_gc() -> SolverConfig {
 fn disabled_gc() -> SolverConfig {
     SolverConfig {
         gc_wasted_ratio: f64::INFINITY,
+        ..SolverConfig::default()
+    }
+}
+
+/// Bounded variable elimination forced on, with a SatELite-style growth
+/// allowance so the pass actually fires on small instances.
+fn forced_elim() -> SolverConfig {
+    SolverConfig {
+        elim_vars: true,
+        elim_grow: 4,
+        ..SolverConfig::default()
+    }
+}
+
+fn disabled_elim() -> SolverConfig {
+    SolverConfig {
+        elim_vars: false,
         ..SolverConfig::default()
     }
 }
@@ -283,6 +300,169 @@ fn hundred_generations_keep_vars_and_arena_bounded() {
         stats.recycled_vars as usize >= GENERATIONS,
         "every retired generation recycles variables (got {})",
         stats.recycled_vars
+    );
+}
+
+/// The full SAT-attack flow in lockstep across *elimination* modes: bounded
+/// variable elimination at every `simplify` checkpoint versus elimination
+/// disabled.  Substituting a variable out (and reconstructing it in
+/// `extend_model`) must be invisible to every solve status, and the keys the
+/// eliminating side extracts must be semantically indistinguishable from the
+/// non-eliminating side's.
+#[test]
+fn forced_elimination_dip_loop_matches_disabled_elimination() {
+    let mut total_eliminated = 0u64;
+    check(303, 6, |case_index, rng| {
+        let case = random_case(rng);
+        let oracle = SimOracle::new(case.locked.original.clone());
+        let mut elim = AttackSession::with_config(&case.locked.locked, forced_elim());
+        let mut noelim = AttackSession::with_config(&case.locked.locked, disabled_elim());
+        let ctx = |detail: &str| format!("case {case_index} [{}]: {detail}", case.label);
+
+        let mut observed: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+        loop {
+            assert!(
+                observed.len() < MAX_ITERATIONS,
+                "{}",
+                ctx("DIP loop did not converge within the iteration cap")
+            );
+            let elim_status = elim.find_dip();
+            let noelim_status = noelim.find_dip();
+            assert_eq!(
+                elim_status,
+                noelim_status,
+                "{}",
+                ctx(&format!(
+                    "find_dip diverges at iteration {}",
+                    observed.len()
+                ))
+            );
+            match elim_status {
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => panic!("{}", ctx("unexpected Unknown (no budget set)")),
+                SolveResult::Sat => {}
+            }
+            // Feed the eliminating session's distinguishing input to both
+            // sides, then force an explicit simplify checkpoint so the
+            // eliminator runs every iteration, not only when the session's
+            // clause-growth heuristic fires.
+            let x = elim.dip_inputs();
+            let y = oracle.query(&x);
+            observed.push((x.clone(), y.clone()));
+            elim.force_dip(&x, &y);
+            noelim.force_dip(&x, &y);
+            elim.solver_mut().simplify();
+            noelim.solver_mut().simplify();
+        }
+
+        let (elim_status, elim_key) = elim.extract_key();
+        let (noelim_status, noelim_key) = noelim.extract_key();
+        assert_eq!(
+            elim_status,
+            noelim_status,
+            "{}",
+            ctx("extract_key diverges")
+        );
+        if elim_status == SolveResult::Sat {
+            for (who, key) in [
+                ("elim", elim_key.expect("sat carries a key")),
+                ("noelim", noelim_key.expect("sat carries a key")),
+            ] {
+                assert!(
+                    consistent_with_observations(&case.locked, &key, &observed),
+                    "{}",
+                    ctx(&format!("{who} key {key} contradicts an observation"))
+                );
+                assert!(
+                    case.locked
+                        .key_is_functionally_correct(&key, 128, case_index as u64),
+                    "{}",
+                    ctx(&format!("{who} key {key} is not functionally correct"))
+                );
+            }
+        }
+        total_eliminated += elim.stats().vars_eliminated;
+        assert_eq!(
+            noelim.stats().vars_eliminated,
+            0,
+            "{}",
+            ctx("the disabled side must never eliminate")
+        );
+    });
+    assert!(
+        total_eliminated > 0,
+        "the eliminating side must substitute out at least one internal \
+         cone variable across the suite"
+    );
+}
+
+/// Property: after bounded variable elimination, a SAT answer's
+/// *reconstructed* model (eliminated variables re-derived by the reverse
+/// `extend_model` walk) satisfies every clause of the **original** formula —
+/// not merely the post-elimination one — on random CNF instances, with a
+/// random subset of variables frozen as an interface.
+#[test]
+fn reconstructed_models_satisfy_the_original_clauses() {
+    let mut total_eliminated = 0u64;
+    check(304, 40, |round, rng| {
+        let num_vars = rng.gen_range(6..16usize);
+        let num_clauses = rng.gen_range(8..36usize);
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for _ in 0..num_clauses {
+            let len = rng.gen_range(1..4usize);
+            let clause: Vec<Lit> = (0..len)
+                .map(|_| Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen()))
+                .collect();
+            clauses.push(clause);
+        }
+        let frozen: Vec<Var> = (0..num_vars)
+            .map(Var::from_index)
+            .filter(|_| rng.gen_bool(0.25))
+            .collect();
+
+        let build = |config: SolverConfig| {
+            let mut solver = Solver::with_config(config);
+            solver.ensure_vars(num_vars);
+            for var in &frozen {
+                solver.set_frozen(*var, true);
+            }
+            for clause in &clauses {
+                solver.add_clause(clause.iter().copied());
+            }
+            solver
+        };
+        let mut elim = build(forced_elim());
+        let mut noelim = build(disabled_elim());
+        elim.simplify();
+        noelim.simplify();
+
+        let elim_status = elim.solve();
+        let noelim_status = noelim.solve();
+        assert_eq!(
+            elim_status, noelim_status,
+            "round {round}: statuses diverge"
+        );
+        if elim_status == SolveResult::Sat {
+            for clause in &clauses {
+                assert!(
+                    clause.iter().any(|&lit| elim.value(lit) == Some(true)),
+                    "round {round}: reconstructed model violates original \
+                     clause {clause:?}"
+                );
+            }
+            // Frozen interface variables keep first-class model values.
+            for var in &frozen {
+                assert!(
+                    !elim.is_eliminated(*var),
+                    "round {round}: frozen {var:?} was eliminated"
+                );
+            }
+        }
+        total_eliminated += elim.stats().vars_eliminated;
+    });
+    assert!(
+        total_eliminated > 0,
+        "the property is vacuous unless elimination actually fired"
     );
 }
 
