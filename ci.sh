@@ -7,9 +7,15 @@
 #                  harness in release mode, run the trimmed parallel-engine
 #                  workloads plus a pipes-mode fall-dist farm smoke (clean
 #                  2-worker run and a crash-requeue run, gating the
-#                  dist_* counters), write BENCH_parallel.json, and fail if
-#                  any tracked metric regresses >20% against the checked-in
-#                  baseline (crates/bench/baseline/BENCH_parallel.json).
+#                  dist_* counters and the dist_worker_stats_reports
+#                  telemetry count) and a flight-recorder-armed SAT attack
+#                  (gating the trace_* span counts and exporting the Chrome
+#                  trace to BENCH_trace.json), write BENCH_parallel.json,
+#                  and fail if any tracked metric regresses >20% against the
+#                  checked-in baseline
+#                  (crates/bench/baseline/BENCH_parallel.json — the one
+#                  canonical copy; the root BENCH_parallel.json is this
+#                  run's gitignored output artifact).
 #                  Regenerate the baseline with:
 #                    cargo run --release -p fall-bench --bin bench_smoke -- --write-baseline
 #
@@ -33,7 +39,8 @@ if [ "$bench_smoke" -eq 1 ]; then
     echo "==> cargo run --release -p fall-bench --bin bench_smoke"
     cargo run --release -p fall-bench --bin bench_smoke -- \
         --baseline crates/bench/baseline/BENCH_parallel.json \
-        --out BENCH_parallel.json
+        --out BENCH_parallel.json \
+        --trace-out BENCH_trace.json
     echo "BENCH SMOKE OK"
     exit 0
 fi
@@ -102,5 +109,14 @@ cargo test -q --test wide_sim
 # failure is attributed to the fall-dist supervisor/worker machinery.
 echo "==> cargo test -q -p fall-dist --test farm"
 cargo test -q -p fall-dist --test farm
+
+# The observability story: a flight-recorder-armed SAT attack must export a
+# structurally valid Chrome trace document (parsed back through netshim:
+# complete events only, non-negative timestamps, per-thread spans properly
+# nested) whose span counts match the attack's own iteration/query counters,
+# and a disabled recorder must record nothing. Also part of the workspace
+# run; re-run explicitly so a failure is attributed to the tracing layer.
+echo "==> cargo test -q -p fall-bench --test trace_validate"
+cargo test -q -p fall-bench --test trace_validate
 
 echo "CI OK"

@@ -6,11 +6,15 @@
 //!
 //! ```text
 //! bench_smoke [--baseline PATH] [--out PATH] [--write-baseline] [--tolerance F]
+//!             [--trace-out PATH]
 //! ```
 //!
 //! With `--write-baseline`, the baseline file is (re)written from this run
 //! instead of being compared against.  Exit status 1 means at least one
-//! tracked metric regressed beyond the tolerance.
+//! tracked metric regressed beyond the tolerance.  With `--trace-out`, the
+//! flight-recorder events captured during the single-SAT-attack section are
+//! written as a Chrome trace-event JSON document (loadable in Perfetto; see
+//! `docs/OBSERVABILITY.md`).
 //!
 //! Two classes of metric are reported:
 //!
@@ -18,9 +22,12 @@
 //!   per-worker `sessions_created`/`cone_encodings_built` counters of the
 //!   frame-scoped-predicate engine, and the clause-arena memory counters —
 //!   `*_arena_bytes`/`*_gc_runs`/`*_recycled_vars` from the single-threaded
-//!   workloads, including the 100-generation long-lived-session run) — gated
-//!   at the tolerance (default 20 %); any `*_s`/`*speedup*` metric that does
-//!   land in a baseline gets a 3x band;
+//!   workloads, including the 100-generation long-lived-session run, the
+//!   flight-recorder span counts `trace_*` from the traced single SAT
+//!   attack, and the farm telemetry-report count
+//!   `dist_worker_stats_reports`) — gated at the tolerance (default 20 %);
+//!   any `*_s`/`*speedup*` metric that does land in a baseline gets a 3x
+//!   band;
 //! * `info_*` metrics (absolute seconds, single-shot speedup ratios,
 //!   scheduler-dependent counts) — reported for humans and uploaded as a CI
 //!   artifact, but excluded from the baseline: neither absolute timings nor
@@ -62,6 +69,7 @@ struct Options {
     out: String,
     write_baseline: bool,
     tolerance: f64,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -70,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
         out: "BENCH_parallel.json".to_string(),
         write_baseline: false,
         tolerance: 0.2,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +95,7 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--tolerance expects a number".to_string())?
             }
+            "--trace-out" => options.trace_out = Some(value("--trace-out")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -436,11 +446,42 @@ fn measure() -> MetricReport {
         .lock(&pf_original)
         .expect("lock");
     let pf_oracle = SimOracle::new(pf_original);
+    // Arm the flight recorder for the single deterministic attack, and only
+    // for it: the recorded span counts become gated metrics, proving the
+    // tracing layer sees exactly the phases the attack runs.  (Spans only
+    // read a clock, so the attack trajectory — and every other gated counter
+    // — is identical whether the recorder is on or off.)
+    fall::trace::reset();
+    fall::trace::set_enabled(true);
     let t = Instant::now();
     let single = sat_attack(&pf_locked.locked, &pf_oracle, &SatAttackConfig::default());
+    fall::trace::set_enabled(false);
     report.record("info_sat_attack_single_s", t.elapsed().as_secs_f64(), false);
     assert!(single.is_success(), "single sat attack");
     report.record("sat_attack_iterations", single.iterations as f64, false);
+    // One span per DIP round plus the final UNSAT round that ends the loop.
+    let traced_dips = fall::trace::phase_count("dip_iteration");
+    assert_eq!(
+        traced_dips,
+        single.iterations as u64 + 1,
+        "flight recorder must see every DIP iteration"
+    );
+    assert_eq!(
+        fall::trace::phase_count("oracle_query"),
+        single.oracle_queries as u64,
+        "flight recorder must see every oracle query"
+    );
+    assert!(
+        fall::trace::phase_count("solve") > 0,
+        "solver checkpoints must be traced"
+    );
+    assert_eq!(fall::trace::events_dropped(), 0, "ring must not overflow");
+    report.record("trace_dip_iterations", traced_dips as f64, false);
+    report.record(
+        "trace_oracle_queries",
+        fall::trace::phase_count("oracle_query") as f64,
+        false,
+    );
 
     let t = Instant::now();
     let portfolio = portfolio_sat_attack(
@@ -638,6 +679,28 @@ fn measure() -> MetricReport {
             clean.regions_completed as f64,
             false,
         );
+        // Worker telemetry: every drain-all `complete` frame piggybacks a
+        // cumulative SolverStats snapshot, so the report count equals the
+        // region count, and the supervisor's farm-wide aggregate must be
+        // exactly the field-wise sum of each worker's latest snapshot.
+        assert_eq!(
+            clean.stats_reports, clean.regions_completed,
+            "every complete frame carries worker telemetry"
+        );
+        let mut summed = sat::SolverStats::default();
+        for telemetry in clean.worker_telemetry.iter().flatten() {
+            summed.absorb(&telemetry.solver);
+        }
+        assert_eq!(
+            clean.solver_stats, summed,
+            "supervisor aggregate equals the sum of worker-local stats"
+        );
+        assert!(clean.solver_stats.solves > 0, "workers did SAT work");
+        report.record(
+            "dist_worker_stats_reports",
+            clean.stats_reports as f64,
+            false,
+        );
 
         farm_config.worker_args = vec![vec!["--crash-on-first-lease".to_string()]];
         let t = Instant::now();
@@ -736,6 +799,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("bench_smoke: wrote {}", options.out);
+
+    // The flight-recorder events from the traced attack section are still in
+    // the rings (disabling the recorder keeps them); export on request.
+    if let Some(path) = &options.trace_out {
+        if let Err(error) = std::fs::write(path, fall::trace::chrome_trace_json()) {
+            eprintln!("bench_smoke: cannot write {path}: {error}");
+            return ExitCode::from(2);
+        }
+        println!("bench_smoke: wrote {path}");
+    }
 
     if options.write_baseline {
         let mut tracked = report.clone();

@@ -631,6 +631,43 @@ mod tests {
     }
 
     #[test]
+    fn metric_report_errors_name_the_offending_field() {
+        // A non-numeric value is rejected with the bad token in the message.
+        let error = MetricReport::from_json("{\"a\": {\"value\": true}}").unwrap_err();
+        assert!(error.contains("invalid number"), "{error}");
+        let error =
+            MetricReport::from_json("{\"a\": {\"value\": \"12\", \"higher_is_better\": false}}")
+                .unwrap_err();
+        assert!(error.contains("invalid number"), "{error}");
+
+        // A metric without a value names the metric.
+        let error = MetricReport::from_json("{\"oracle_queries\": {\"higher_is_better\": true}}")
+            .unwrap_err();
+        assert!(error.contains("oracle_queries"), "{error}");
+        assert!(error.contains("lacks a value"), "{error}");
+
+        // A non-boolean orientation is rejected too.
+        let error = MetricReport::from_json("{\"a\": {\"value\": 1, \"higher_is_better\": 7}}")
+            .unwrap_err();
+        assert!(error.contains("expected boolean"), "{error}");
+
+        // Unknown metric fields are rejected rather than silently dropped.
+        let error = MetricReport::from_json("{\"a\": {\"value\": 1, \"unit\": 2}}").unwrap_err();
+        assert!(error.contains("unit"), "{error}");
+    }
+
+    #[test]
+    fn missing_orientation_defaults_to_lower_is_better() {
+        // Orientation is optional on the wire: a bare value parses, and the
+        // conservative default is "smaller is better" (so a metric that
+        // grows can regress, never one that shrinks).
+        let report = MetricReport::from_json("{\"queries\": {\"value\": 42}}").expect("parse");
+        let metric = report.metrics.get("queries").expect("metric present");
+        assert_eq!(metric.value, 42.0);
+        assert!(!metric.higher_is_better);
+    }
+
+    #[test]
     fn regressions_respect_direction_and_tolerance() {
         let mut baseline = MetricReport::new();
         baseline.record("time_s", 1.0, false);

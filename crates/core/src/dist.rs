@@ -362,6 +362,9 @@ impl Oracle for SyncingOracle<'_> {
             return outputs.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // Same phase as `CachingOracle` misses: deduplicated real-oracle
+        // access, distinct from the attack loop's logical "oracle_query".
+        let _span = crate::trace::span("oracle_miss");
         let outputs = self.inner.query(inputs);
         state.map.insert(inputs.to_vec(), outputs.clone());
         state.outbox.push((inputs.to_vec(), outputs.clone()));

@@ -83,6 +83,7 @@ pub(crate) fn unateness_polarities(
     sim: &mut WideSim,
     stats: &mut PrefilterStats,
 ) -> Vec<(bool, bool)> {
+    let _span = crate::trace::span("prefilter_sweep");
     let positions = input_positions(netlist, support);
     let w = sim.width();
     let mut rng = ChaCha8Rng::seed_from_u64(SEED);
@@ -160,6 +161,7 @@ pub(crate) fn satisfying_within_distance(
     if support.len() > 64 || max_distance >= support.len() {
         return true;
     }
+    let _span = crate::trace::span("prefilter_sweep");
     let positions = input_positions(netlist, support);
     let w = sim.width();
     let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 0x5EA9_C0DE);

@@ -38,6 +38,13 @@
 //! timeout/cancellation and an aggregated metrics surface — the engine
 //! behind the `fall-serve` TCP server.
 //!
+//! The [`trace`] module is the observability layer over all of the above: a
+//! dependency-free flight recorder whose spans instrument DIP iterations,
+//! solver calls, oracle queries, region drains and service jobs, with
+//! per-phase duration histograms, Chrome-trace JSON export (Perfetto) and
+//! Prometheus text exposition.  Tracing is off by default and costs one
+//! atomic load per instrumentation point while off.
+//!
 //! # Example: break SFLL-HD without an oracle
 //!
 //! ```
@@ -70,6 +77,7 @@ pub mod sat_attack;
 pub mod service;
 pub mod session;
 pub mod structural;
+pub mod trace;
 pub mod unlock;
 
 pub use attack::{fall_attack, FallAttackConfig, FallAttackResult, FallStatus};

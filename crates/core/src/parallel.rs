@@ -169,6 +169,9 @@ impl Oracle for CachingOracle<'_> {
             return outputs.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // A distinct phase from the attack loop's logical "oracle_query"
+        // span: this one times only deduplicated access to the real oracle.
+        let _span = crate::trace::span("oracle_miss");
         let outputs = self.inner().query(inputs);
         shard.insert(inputs.to_vec(), outputs.clone());
         outputs
@@ -231,7 +234,13 @@ pub trait RegionSource: Sync {
     /// the in-process source needs no acknowledgement (regions are retired
     /// the moment they are handed out, because a thread cannot crash
     /// independently of the process).
-    fn complete_region(&self, _region: u64, _iterations: usize) {}
+    ///
+    /// `stats` is the worker session's cumulative [`SolverStats`] snapshot at
+    /// completion time.  A distributed source piggybacks it on the
+    /// acknowledgement so the supervisor can maintain a farm-wide aggregate
+    /// without an extra round trip; the in-process source ignores it (the
+    /// pool absorbs each session's stats once, at thread exit).
+    fn complete_region(&self, _region: u64, _iterations: usize, _stats: &SolverStats) {}
 }
 
 /// The in-process [`RegionSource`]: a shared atomic counter over the dense
@@ -325,6 +334,7 @@ pub fn drain_regions(
             break RegionDrainOutcome::Drained;
         };
         regions_searched += 1;
+        let _region_span = crate::trace::span("region_drain");
 
         let result = key_confirmation_with_predicate_in(session, oracle, config, |s, keys| {
             for (bit, &lit) in keys.iter().enumerate().take(partition_bits) {
@@ -345,7 +355,8 @@ pub fn drain_regions(
             }
             break RegionDrainOutcome::Exhausted { region };
         }
-        source.complete_region(region, result.iterations);
+        let stats = session.stats();
+        source.complete_region(region, result.iterations, &stats);
     };
     RegionDrain {
         outcome,

@@ -161,6 +161,7 @@ pub fn sat_attack_in(
                 start.elapsed(),
             );
         }
+        let dip_span = crate::trace::span("dip_iteration");
         match session.find_dip() {
             SolveResult::Unknown => {
                 return stopped(
@@ -175,9 +176,13 @@ pub fn sat_attack_in(
         }
         iterations += 1;
         let distinguishing_input = session.dip_inputs();
-        let observed_output = oracle.query(&distinguishing_input);
+        let observed_output = {
+            let _span = crate::trace::span("oracle_query");
+            oracle.query(&distinguishing_input)
+        };
         oracle_queries += 1;
         session.force_dip(&distinguishing_input, &observed_output);
+        drop(dip_span);
     }
 
     // No distinguishing input remains: any key satisfying the accumulated I/O

@@ -444,12 +444,20 @@ struct Counters {
     jobs_timeout: AtomicU64,
     jobs_cancelled: AtomicU64,
     jobs_failed: AtomicU64,
+    /// Jobs that actually ran on a worker session, by kind (busy-rejected
+    /// and cancelled-while-queued jobs never reach a session and are not
+    /// counted here).
+    jobs_sat: AtomicU64,
+    jobs_fall: AtomicU64,
+    jobs_confirm: AtomicU64,
     sessions_created: AtomicU64,
 }
 
 /// State shared between the service handle, workers and the reaper.
 struct Shared {
     config: ServiceConfig,
+    /// When the pool started, for the `serve_uptime_s` gauge.
+    started: Instant,
     shutting_down: AtomicBool,
     /// Jobs currently running on workers, scanned by the reaper.
     active: Mutex<Vec<ActiveJob>>,
@@ -486,6 +494,7 @@ impl AttackService {
         let config_reservoir = config.latency_reservoir;
         let shared = Arc::new(Shared {
             config,
+            started: Instant::now(),
             shutting_down: AtomicBool::new(false),
             active: Mutex::new(Vec::new()),
             reaper_stop: Mutex::new(false),
@@ -812,8 +821,28 @@ impl AttackService {
             false,
         );
         push(
+            "serve_jobs_sat",
+            counters.jobs_sat.load(Ordering::Relaxed) as f64,
+            false,
+        );
+        push(
+            "serve_jobs_fall",
+            counters.jobs_fall.load(Ordering::Relaxed) as f64,
+            false,
+        );
+        push(
+            "serve_jobs_confirm",
+            counters.jobs_confirm.load(Ordering::Relaxed) as f64,
+            false,
+        );
+        push(
             "serve_sessions_created",
             counters.sessions_created.load(Ordering::Relaxed) as f64,
+            false,
+        );
+        push(
+            "serve_uptime_s",
+            self.shared.started.elapsed().as_secs_f64(),
             false,
         );
 
@@ -861,40 +890,12 @@ impl AttackService {
         for stats in self.shared.worker_stats.lock().expect("stats lock").iter() {
             pool.absorb(stats);
         }
-        push("sat_conflicts", pool.conflicts as f64, false);
-        push("sat_decisions", pool.decisions as f64, false);
-        push("sat_propagations", pool.propagations as f64, false);
-        push("sat_restarts", pool.restarts as f64, false);
-        push("sat_restarts_luby", pool.restarts_luby as f64, false);
-        push("sat_restarts_ema", pool.restarts_ema as f64, false);
-        push("sat_restarts_blocked", pool.restarts_blocked as f64, false);
-        push("sat_reductions", pool.reductions as f64, false);
-        push("sat_solves", pool.solves as f64, false);
-        push("sat_learnt_clauses", pool.learnt_clauses as f64, false);
-        push("sat_core_clauses", pool.core_clauses as f64, false);
-        push("sat_tier2_clauses", pool.tier2_clauses as f64, false);
-        push("sat_local_clauses", pool.local_clauses as f64, false);
-        push("sat_vars_eliminated", pool.vars_eliminated as f64, false);
-        push("sat_vars_resurrected", pool.vars_resurrected as f64, false);
-        push(
-            "sat_strategy_switches",
-            pool.strategy_switches as f64,
-            false,
-        );
-        push(
-            "sat_ema_lbd_fast_milli",
-            pool.ema_lbd_fast_milli as f64,
-            false,
-        );
-        push(
-            "sat_ema_lbd_slow_milli",
-            pool.ema_lbd_slow_milli as f64,
-            false,
-        );
-        push("arena_bytes", pool.arena_bytes as f64, false);
-        push("arena_wasted_bytes", pool.wasted_bytes as f64, false);
-        push("gc_runs", pool.gc_runs as f64, false);
-        push("recycled_vars", pool.recycled_vars as f64, false);
+        // Driven by the canonical field table, so a counter added to
+        // `SolverStats` shows up here (and in the drift-guard test) without
+        // touching this function.
+        for (field, value) in pool.fields() {
+            push(&solver_metric_name(field), value as f64, false);
+        }
 
         let prefilter = self.shared.prefilter.lock().expect("prefilter lock");
         push(
@@ -907,6 +908,7 @@ impl AttackService {
             prefilter.patterns_simulated as f64,
             false,
         );
+        samples.extend(crate::trace::metric_samples());
         samples
     }
 
@@ -1112,8 +1114,18 @@ fn run_job(
     });
     session.set_interrupt(Some(job.token.as_flag()));
 
+    let kind_counter = match &job.kind {
+        JobKind::SatAttack => &shared.counters.jobs_sat,
+        JobKind::Fall { .. } => &shared.counters.jobs_fall,
+        JobKind::Confirm { .. } => &shared.counters.jobs_confirm,
+    };
+    kind_counter.fetch_add(1, Ordering::Relaxed);
+
     let started = Instant::now();
-    let outcome = execute(session, target, shared, &job);
+    let outcome = {
+        let _span = crate::trace::span("serve_job");
+        execute(session, target, shared, &job)
+    };
     let elapsed = started.elapsed();
 
     // Disarm: the session survives the job, whatever happened to it.
@@ -1161,6 +1173,19 @@ fn run_job(
         queued: queued_for,
         elapsed,
     });
+}
+
+/// The `/metrics` name of a [`SolverStats`] field: `sat_<field>` except for
+/// the four arena/lifecycle counters that predate the prefix convention and
+/// are kept under their original names for dashboard stability.
+fn solver_metric_name(field: &str) -> String {
+    match field {
+        "arena_bytes" => "arena_bytes".to_string(),
+        "wasted_bytes" => "arena_wasted_bytes".to_string(),
+        "gc_runs" => "gc_runs".to_string(),
+        "recycled_vars" => "recycled_vars".to_string(),
+        other => format!("sat_{other}"),
+    }
 }
 
 /// Bumps the counter matching a final job status.
@@ -1341,6 +1366,41 @@ mod tests {
         reservoir.record(9);
         assert_eq!(reservoir.samples().len(), 1);
         assert_eq!(reservoir.seen(), 2);
+    }
+
+    #[test]
+    fn metrics_cover_every_solver_stats_field() {
+        // Drift guard: a counter added to `SolverStats` must surface in the
+        // `/metrics` frame.  Because `metrics()` iterates
+        // `SolverStats::fields()`, this can only fail if the legacy-name
+        // mapping loses a field or the metrics pipeline is rewritten.
+        let service = AttackService::new(ServiceConfig::default());
+        let names: Vec<String> = service.metrics().into_iter().map(|s| s.name).collect();
+        for (field, _) in SolverStats::default().fields() {
+            let expected = solver_metric_name(field);
+            assert!(
+                names.contains(&expected),
+                "SolverStats field {field:?} missing from /metrics (expected {expected:?})"
+            );
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn metrics_report_uptime_and_per_kind_job_counters() {
+        let service = AttackService::new(ServiceConfig::default());
+        let metric = |name: &str| {
+            service
+                .metrics()
+                .into_iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+        };
+        assert!(metric("serve_uptime_s").value >= 0.0);
+        assert_eq!(metric("serve_jobs_sat").value, 0.0);
+        assert_eq!(metric("serve_jobs_fall").value, 0.0);
+        assert_eq!(metric("serve_jobs_confirm").value, 0.0);
+        service.shutdown();
     }
 
     #[test]

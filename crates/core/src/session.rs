@@ -51,6 +51,17 @@ use crate::encode::{
 };
 use crate::functional::{and2_lit, popcount_lits, xor2_lit, PrefilterStats};
 
+/// The flight-recorder phase name of a solver maintenance checkpoint.
+fn checkpoint_phase(checkpoint: sat::Checkpoint) -> &'static str {
+    match checkpoint {
+        sat::Checkpoint::Gc => "sat_gc",
+        sat::Checkpoint::ReduceDb => "sat_reduce_db",
+        sat::Checkpoint::Simplify => "sat_simplify",
+        sat::Checkpoint::Eliminate => "sat_eliminate",
+        sat::Checkpoint::Restart => "sat_restart",
+    }
+}
+
 /// Which of the session's key-literal vectors an I/O constraint applies to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KeyVector {
@@ -159,9 +170,18 @@ impl<'n> AttackSession<'n> {
     /// configuration (the portfolio entry point: each racer gets its own
     /// deliberately diverse configuration).
     pub fn with_config(netlist: &'n Netlist, config: SolverConfig) -> AttackSession<'n> {
+        let mut solver = Solver::with_config(config);
+        // Forward the solver's maintenance checkpoints (GC, reduction,
+        // simplification, elimination, restarts) into the flight recorder.
+        // `record_duration` is a no-op while tracing is disabled, and the
+        // solver never reads a clock for search decisions, so the hook is
+        // trajectory-neutral either way.
+        solver.set_checkpoint_hook(Some(Box::new(|checkpoint, duration| {
+            crate::trace::record_duration(checkpoint_phase(checkpoint), duration);
+        })));
         AttackSession {
             netlist,
-            solver: Solver::with_config(config),
+            solver,
             dip: None,
             cones: None,
             key_cone: None,
@@ -450,6 +470,7 @@ impl<'n> AttackSession<'n> {
             frames.push(generation.io_a_frame);
             frames.push(generation.phi_frame);
         }
+        let _span = crate::trace::span("solve");
         self.solver.solve_in(&frames, &[])
     }
 
@@ -475,6 +496,7 @@ impl<'n> AttackSession<'n> {
         if let Some(generation) = &self.generation {
             frames.push(generation.phi_frame);
         }
+        let _span = crate::trace::span("solve");
         self.solver.solve_in(&frames, &assumptions)
     }
 
@@ -604,6 +626,7 @@ impl<'n> AttackSession<'n> {
             .as_ref()
             .expect("checked by phi_keys")
             .phi_frame;
+        let _span = crate::trace::span("solve");
         let result = self.solver.solve_in(&[phi_frame], &[]);
         let key = (result == SolveResult::Sat).then(|| model_key(&self.solver, &phi));
         (result, key)
@@ -631,6 +654,7 @@ impl<'n> AttackSession<'n> {
             frames.push(generation.io_a_frame);
             frames.push(generation.phi_frame);
         }
+        let _span = crate::trace::span("solve");
         let result = self.solver.solve_in(&frames, &[]);
         let key = (result == SolveResult::Sat).then(|| model_key(&self.solver, &key_a));
         (result, key)

@@ -7,6 +7,7 @@
 //!           [--listen HOST:PORT]
 //!           [--max-iterations N] [--time-limit-ms N]
 //!           [--heartbeat-ms N] [--heartbeat-timeout-ms N] [--lease-timeout-ms N]
+//!           [--metrics-out FILE] [--trace-out FILE]
 //! ```
 //!
 //! By default workers are child processes over stdin/stdout pipes (re-execs
@@ -32,7 +33,8 @@ fn usage() -> ! {
         "usage: fall-dist --locked FILE.bench --oracle FILE.bench [--workers N] \
          [--partition-bits N] [--no-steal] [--no-cancel-on-winner] [--listen HOST:PORT] \
          [--max-iterations N] [--time-limit-ms N] [--heartbeat-ms N] \
-         [--heartbeat-timeout-ms N] [--lease-timeout-ms N]\n\
+         [--heartbeat-timeout-ms N] [--lease-timeout-ms N] \
+         [--metrics-out FILE] [--trace-out FILE]\n\
          \n\
          worker mode (started by the supervisor, or manually for --listen farms):\n\
          fall-dist __fall-dist-worker [--connect HOST:PORT] [--max-frame BYTES]"
@@ -73,6 +75,18 @@ fn result_json(result: &FarmResult) -> String {
         ("regions_stolen", Value::from(result.regions_stolen)),
         ("workers", Value::from(result.workers)),
         ("workers_crashed", Value::from(result.workers_crashed)),
+        ("stats_reports", Value::from(result.stats_reports)),
+        (
+            "solver_stats",
+            Value::object(
+                result
+                    .solver_stats
+                    .fields()
+                    .iter()
+                    .map(|&(name, value)| (name.to_string(), Value::from(value)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
         (
             "elapsed_ms",
             Value::from(result.elapsed.as_secs_f64() * 1e3),
@@ -88,6 +102,8 @@ fn main() {
     let mut locked_path: Option<String> = None;
     let mut oracle_path: Option<String> = None;
     let mut listen: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(flag) = args.next() {
@@ -121,6 +137,8 @@ fn main() {
                 config.lease_timeout =
                     Duration::from_millis(parse_value(&mut args, "--lease-timeout-ms"));
             }
+            "--metrics-out" => metrics_out = Some(parse_value(&mut args, "--metrics-out")),
+            "--trace-out" => trace_out = Some(parse_value(&mut args, "--trace-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fall-dist: unknown flag {other:?}");
@@ -152,6 +170,10 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if trace_out.is_some() {
+        fall::trace::set_enabled(true);
+    }
 
     let result = match listen {
         Some(addr) => {
@@ -203,6 +225,19 @@ fn main() {
         result.workers_crashed,
         result.workers,
     );
+    if let Some(path) = &metrics_out {
+        let text = fall::trace::prometheus_text(&result.metric_samples());
+        if let Err(error) = std::fs::write(path, text) {
+            eprintln!("fall-dist: cannot write {path}: {error}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &trace_out {
+        if let Err(error) = std::fs::write(path, fall::trace::chrome_trace_json()) {
+            eprintln!("fall-dist: cannot write {path}: {error}");
+            std::process::exit(1);
+        }
+    }
     println!("{}", result_json(&result));
     if !result.completed {
         std::process::exit(3);

@@ -9,9 +9,73 @@
 use fall::dist::IoPair;
 use locking::Key;
 use netshim::Value;
+use sat::SolverStats;
 
 /// Protocol revision carried by the worker's `hello`.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// Version 2 adds the optional `stats` member of `complete` (cumulative
+/// worker telemetry) — a pure extension, so version-1 peers interoperate:
+/// an old supervisor ignores the member, an old worker never sends it.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Cumulative worker telemetry piggybacked on `complete` frames.
+///
+/// Snapshots are **cumulative over the worker's lifetime**, not per-region
+/// deltas: the supervisor keeps the latest snapshot per worker and sums
+/// across workers, which makes absorption idempotent (a resent frame
+/// replaces, never double-counts) and exact for gauge-like fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// Cumulative [`SolverStats`] of the worker's long-lived session.
+    pub solver: SolverStats,
+    /// Queries the worker's syncing oracle cache answered locally.
+    pub oracle_hits: u64,
+    /// Distinct patterns the worker forwarded to its real oracle.
+    pub oracle_unique: u64,
+}
+
+impl WorkerTelemetry {
+    /// Encodes as the wire `stats` object: one member per
+    /// [`SolverStats::fields`] entry plus the two oracle counters.
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .solver
+            .fields()
+            .iter()
+            .map(|&(name, value)| (name.to_string(), Value::from(value)))
+            .collect();
+        fields.push(("oracle_hits".to_string(), Value::from(self.oracle_hits)));
+        fields.push(("oracle_unique".to_string(), Value::from(self.oracle_unique)));
+        Value::object(fields)
+    }
+
+    /// Decodes the wire `stats` object.  Unknown members are ignored (a
+    /// newer peer may report counters this build does not know), non-numeric
+    /// values are rejected.
+    pub fn from_value(value: &Value) -> Result<WorkerTelemetry, String> {
+        let Some(members) = value.as_object() else {
+            return Err("\"stats\" must be an object".into());
+        };
+        let mut telemetry = WorkerTelemetry::default();
+        for (name, member) in members {
+            let Some(number) = member.as_u64() else {
+                return Err(format!(
+                    "stats member {name:?} must be a non-negative integer"
+                ));
+            };
+            match name.as_str() {
+                "oracle_hits" => telemetry.oracle_hits = number,
+                "oracle_unique" => telemetry.oracle_unique = number,
+                other => {
+                    // Unknown solver counters are forward-compatibility, not
+                    // errors.
+                    let _ = telemetry.solver.set_field(other, number);
+                }
+            }
+        }
+        Ok(telemetry)
+    }
+}
 
 /// Renders a bit vector as the wire bitstring (`"0101"`, character `i` =
 /// bit `i`).
@@ -98,6 +162,10 @@ pub enum WorkerMessage {
         key: Option<Key>,
         /// Newly-discovered oracle pairs.
         pairs: Vec<IoPair>,
+        /// Cumulative worker telemetry (protocol ≥ 2; absent from older
+        /// workers).  Boxed so the rare `complete` frame does not inflate
+        /// the size of every queued `WorkerMessage`.
+        stats: Option<Box<WorkerTelemetry>>,
     },
     /// Periodic liveness signal.
     Heartbeat,
@@ -158,6 +226,7 @@ impl WorkerMessage {
                 iterations,
                 key,
                 pairs,
+                stats,
             } => {
                 let mut fields = vec![
                     ("op".to_string(), Value::from("complete")),
@@ -168,6 +237,9 @@ impl WorkerMessage {
                 ];
                 if let Some(key) = key {
                     fields.push(("key".to_string(), Value::from(bits_to_wire(key.bits()))));
+                }
+                if let Some(stats) = stats {
+                    fields.push(("stats".to_string(), stats.to_value()));
                 }
                 Value::object(fields)
             }
@@ -222,12 +294,17 @@ impl WorkerMessage {
                 if outcome == RegionOutcome::Found && key.is_none() {
                     return Err("complete: outcome \"found\" requires a key".into());
                 }
+                let stats = match value.get("stats") {
+                    Some(stats) => Some(Box::new(WorkerTelemetry::from_value(stats)?)),
+                    None => None,
+                };
                 Ok(WorkerMessage::Complete {
                     region,
                     outcome,
                     iterations,
                     key,
                     pairs: pairs_from_message(&value)?,
+                    stats,
                 })
             }
             "heartbeat" => Ok(WorkerMessage::Heartbeat),
@@ -400,6 +477,7 @@ mod tests {
                 iterations: 17,
                 key: Some(Key::new(vec![true, false, true])),
                 pairs: vec![(vec![false, false], vec![true])],
+                stats: None,
             },
             WorkerMessage::Complete {
                 region: 1,
@@ -407,6 +485,16 @@ mod tests {
                 iterations: 4,
                 key: None,
                 pairs: Vec::new(),
+                stats: Some(Box::new(WorkerTelemetry {
+                    solver: SolverStats {
+                        conflicts: 41,
+                        solves: 7,
+                        arena_bytes: 1 << 20,
+                        ..SolverStats::default()
+                    },
+                    oracle_hits: 12,
+                    oracle_unique: 5,
+                })),
             },
             WorkerMessage::Heartbeat,
         ];
@@ -456,5 +544,43 @@ mod tests {
         .is_err());
         assert!(SupervisorMessage::parse("{\"op\":\"region\"}").is_err());
         assert!(bits_from_wire("01x").is_err());
+        // stats must be an object of non-negative integers...
+        assert!(WorkerMessage::parse(
+            "{\"op\":\"complete\",\"region\":0,\"outcome\":\"keyless\",\
+             \"iterations\":1,\"stats\":7}"
+        )
+        .is_err());
+        assert!(WorkerMessage::parse(
+            "{\"op\":\"complete\",\"region\":0,\"outcome\":\"keyless\",\
+             \"iterations\":1,\"stats\":{\"conflicts\":\"many\"}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn telemetry_covers_every_solver_stats_field_and_skips_unknown() {
+        // Every SolverStats counter must survive the wire round trip — the
+        // encoding iterates `fields()`, so this guards the decoder's
+        // `set_field` path.
+        let mut telemetry = WorkerTelemetry::default();
+        for (index, (name, _)) in WorkerTelemetry::default()
+            .solver
+            .fields()
+            .iter()
+            .enumerate()
+        {
+            assert!(telemetry.solver.set_field(name, index as u64 + 1));
+        }
+        telemetry.oracle_hits = 99;
+        telemetry.oracle_unique = 44;
+        let decoded = WorkerTelemetry::from_value(&telemetry.to_value()).expect("round trip");
+        assert_eq!(decoded, telemetry);
+
+        // Unknown members from a newer peer are ignored, not fatal.
+        let forward = WorkerTelemetry::from_value(
+            &Value::parse("{\"conflicts\":3,\"from_the_future\":8}").expect("json"),
+        )
+        .expect("forward compatible");
+        assert_eq!(forward.solver.conflicts, 3);
     }
 }

@@ -17,11 +17,15 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use fall::dist::{Lease, PairStore, RegionBoard};
+use fall::service::MetricSample;
 use fall::KeyConfirmationConfig;
 use locking::Key;
 use netshim::{write_line, LineReader};
+use sat::SolverStats;
 
-use crate::protocol::{RegionOutcome, SupervisorMessage, WorkerMessage, PROTOCOL_VERSION};
+use crate::protocol::{
+    RegionOutcome, SupervisorMessage, WorkerMessage, WorkerTelemetry, PROTOCOL_VERSION,
+};
 use crate::FarmConfig;
 
 /// One worker's transport, as the supervisor sees it: where its messages
@@ -67,8 +71,54 @@ pub struct FarmResult {
     pub workers: usize,
     /// Workers that died owing work (crash, kill, or timeout mid-lease).
     pub workers_crashed: usize,
+    /// Farm-wide [`SolverStats`] aggregate: the field-wise sum of the latest
+    /// cumulative telemetry snapshot of every worker that reported one.
+    pub solver_stats: SolverStats,
+    /// The latest telemetry snapshot per worker (`None` for a worker that
+    /// never completed a region, e.g. one that crashed on its first lease or
+    /// spoke protocol version 1).
+    pub worker_telemetry: Vec<Option<WorkerTelemetry>>,
+    /// `complete` frames that carried a `stats` member.
+    pub stats_reports: usize,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+}
+
+impl FarmResult {
+    /// Renders the end-of-run counters as the `dist_*` metric surface (the
+    /// same dialect as `AttackService::metrics`), including the farm-wide
+    /// aggregated worker [`SolverStats`] as `dist_sat_<field>` — ready for
+    /// [`fall::trace::prometheus_text`] or a `MetricReport`.
+    pub fn metric_samples(&self) -> Vec<MetricSample> {
+        let mut samples = Vec::new();
+        let mut push = |name: String, value: f64| {
+            samples.push(MetricSample {
+                name,
+                value,
+                higher_is_better: false,
+            });
+        };
+        push("dist_workers".into(), self.workers as f64);
+        push("dist_workers_crashed".into(), self.workers_crashed as f64);
+        push("dist_regions_total".into(), self.regions as f64);
+        push(
+            "dist_regions_completed".into(),
+            self.regions_completed as f64,
+        );
+        push("dist_regions_requeued".into(), self.regions_requeued as f64);
+        push("dist_regions_stolen".into(), self.regions_stolen as f64);
+        push("dist_iterations".into(), self.iterations as f64);
+        push(
+            "dist_unique_oracle_queries".into(),
+            self.unique_oracle_queries as f64,
+        );
+        push("dist_stats_reports".into(), self.stats_reports as f64);
+        push("dist_elapsed_s".into(), self.elapsed.as_secs_f64());
+        for (field, value) in self.solver_stats.fields() {
+            push(format!("dist_sat_{field}"), value as f64);
+        }
+        samples
+    }
 }
 
 /// Scheduling state shared by the reader threads and the monitor.
@@ -85,6 +135,12 @@ struct State {
     cancelled_regions: usize,
     iterations: usize,
     workers_crashed: usize,
+    /// Latest cumulative telemetry per worker.  Replacement, not addition:
+    /// snapshots are cumulative, so absorbing a frame is idempotent and the
+    /// farm aggregate is exactly the sum of the latest snapshots.
+    telemetry: Vec<Option<WorkerTelemetry>>,
+    /// `complete` frames that carried telemetry.
+    stats_reports: usize,
     cancel_sent: bool,
     last_heartbeat: Vec<Instant>,
     lease_start: Vec<Option<Instant>>,
@@ -159,6 +215,8 @@ impl Supervisor {
                 cancelled_regions: 0,
                 iterations: 0,
                 workers_crashed: 0,
+                telemetry: vec![None; workers],
+                stats_reports: 0,
                 cancel_sent: false,
                 last_heartbeat: vec![now; workers],
                 lease_start: vec![None; workers],
@@ -248,9 +306,100 @@ impl Supervisor {
             regions_stolen: state.board.stolen(),
             workers: self.workers,
             workers_crashed: state.workers_crashed,
+            solver_stats: aggregate_stats(&state.telemetry),
+            worker_telemetry: state.telemetry.clone(),
+            stats_reports: state.stats_reports,
             elapsed: self.started.elapsed(),
         }
     }
+
+    /// Snapshots the farm's live metric surface — usable mid-run, the
+    /// supervisor-side analogue of `AttackService::metrics`.
+    ///
+    /// Farm-wide gauges (`dist_*`), the aggregated worker [`SolverStats`]
+    /// (`dist_sat_<field>`, summed over the latest cumulative snapshot of
+    /// each reporting worker), and per-worker lease/liveness/telemetry
+    /// gauges (`dist_worker<i>_*`).
+    pub fn status(&self) -> Vec<MetricSample> {
+        let state = self.shared.state.lock().expect("farm state poisoned");
+        let mut samples = Vec::new();
+        let mut push = |name: String, value: f64| {
+            samples.push(MetricSample {
+                name,
+                value,
+                higher_is_better: false,
+            });
+        };
+        push("dist_workers".into(), self.workers as f64);
+        push(
+            "dist_workers_live".into(),
+            state.live.iter().filter(|&&l| l).count() as f64,
+        );
+        push("dist_workers_crashed".into(), state.workers_crashed as f64);
+        push(
+            "dist_workers_parked".into(),
+            state.parked.iter().filter(|&&p| p).count() as f64,
+        );
+        push("dist_regions_total".into(), self.regions as f64);
+        push(
+            "dist_regions_completed".into(),
+            state.board.completed() as f64,
+        );
+        push(
+            "dist_regions_requeued".into(),
+            state.board.requeued() as f64,
+        );
+        push("dist_regions_stolen".into(), state.board.stolen() as f64);
+        push("dist_iterations".into(), state.iterations as f64);
+        push(
+            "dist_unique_oracle_queries".into(),
+            state.pairs.unique() as f64,
+        );
+        push("dist_stats_reports".into(), state.stats_reports as f64);
+        push("dist_uptime_s".into(), self.started.elapsed().as_secs_f64());
+        for (field, value) in aggregate_stats(&state.telemetry).fields() {
+            push(format!("dist_sat_{field}"), value as f64);
+        }
+        for (worker, telemetry) in state.telemetry.iter().enumerate() {
+            push(
+                format!("dist_worker{worker}_live"),
+                f64::from(u8::from(state.live[worker])),
+            );
+            push(
+                format!("dist_worker{worker}_leased"),
+                f64::from(u8::from(state.board.leased(worker).is_some())),
+            );
+            if let Some(telemetry) = telemetry {
+                push(
+                    format!("dist_worker{worker}_conflicts"),
+                    telemetry.solver.conflicts as f64,
+                );
+                push(
+                    format!("dist_worker{worker}_solves"),
+                    telemetry.solver.solves as f64,
+                );
+                push(
+                    format!("dist_worker{worker}_oracle_unique"),
+                    telemetry.oracle_unique as f64,
+                );
+                push(
+                    format!("dist_worker{worker}_oracle_hits"),
+                    telemetry.oracle_hits as f64,
+                );
+            }
+        }
+        samples
+    }
+}
+
+/// The farm-wide aggregate: field-wise sum of the latest cumulative snapshot
+/// of every worker that reported telemetry.
+fn aggregate_stats(telemetry: &[Option<WorkerTelemetry>]) -> SolverStats {
+    let mut aggregate = SolverStats::default();
+    for snapshot in telemetry.iter().flatten() {
+        aggregate.absorb(&snapshot.solver);
+    }
+    aggregate
 }
 
 /// Sends one frame to `worker`, ignoring transport errors (a dead worker's
@@ -380,6 +529,7 @@ fn reader_loop(
                 iterations,
                 key,
                 pairs,
+                stats,
             } => {
                 if state.board.leased(worker) != Some(region) {
                     drop(state);
@@ -388,6 +538,10 @@ fn reader_loop(
                 }
                 state.pairs.merge(pairs);
                 state.iterations += iterations;
+                if let Some(stats) = stats {
+                    state.telemetry[worker] = Some(*stats);
+                    state.stats_reports += 1;
+                }
                 state.lease_start[worker] = None;
                 state.board.complete(worker, region);
                 match outcome {

@@ -22,8 +22,21 @@ use fall::parallel::{drain_regions, CancelToken, RegionDrainOutcome, RegionSourc
 use fall::{AttackSession, KeyConfirmationConfig, SimOracle};
 use netlist::bench_format;
 use netshim::{write_line, LineReader};
+use sat::SolverStats;
 
-use crate::protocol::{RegionOutcome, SupervisorMessage, WorkerMessage, PROTOCOL_VERSION};
+use crate::protocol::{
+    RegionOutcome, SupervisorMessage, WorkerMessage, WorkerTelemetry, PROTOCOL_VERSION,
+};
+
+/// The cumulative telemetry snapshot attached to every `complete` frame:
+/// the session's lifetime [`SolverStats`] plus the syncing cache's counters.
+fn telemetry(stats: SolverStats, oracle: &SyncingOracle<'_>) -> Option<Box<WorkerTelemetry>> {
+    Some(Box::new(WorkerTelemetry {
+        solver: stats,
+        oracle_hits: oracle.hits() as u64,
+        oracle_unique: oracle.local_unique() as u64,
+    }))
+}
 
 /// Tuning and test knobs of a worker process.
 #[derive(Clone, Debug)]
@@ -105,7 +118,7 @@ impl RegionSource for WireSource<'_> {
         }
     }
 
-    fn complete_region(&self, region: u64, iterations: usize) {
+    fn complete_region(&self, region: u64, iterations: usize, stats: &SolverStats) {
         *self.outstanding.lock().expect("lease slot poisoned") = None;
         *self
             .reported_iterations
@@ -119,6 +132,7 @@ impl RegionSource for WireSource<'_> {
                 iterations,
                 key: None,
                 pairs: self.oracle.take_outbox(),
+                stats: telemetry(*stats, self.oracle),
             },
         );
     }
@@ -279,6 +293,7 @@ pub fn run_worker(
                         iterations: remaining_iterations,
                         key: Some(key),
                         pairs: sync.take_outbox(),
+                        stats: telemetry(session.stats(), &sync),
                     },
                 );
             }
@@ -291,6 +306,7 @@ pub fn run_worker(
                         iterations: remaining_iterations,
                         key: None,
                         pairs: sync.take_outbox(),
+                        stats: telemetry(session.stats(), &sync),
                     },
                 );
                 break;
@@ -305,6 +321,7 @@ pub fn run_worker(
                             iterations: remaining_iterations,
                             key: None,
                             pairs: sync.take_outbox(),
+                            stats: telemetry(session.stats(), &sync),
                         },
                     );
                 }

@@ -96,6 +96,37 @@ fn drain_all_mode_retires_every_region_deterministically() {
     assert_eq!(first.regions_stolen, 0, "stealing disabled");
     let key = first.key.as_ref().expect("key recovered");
     assert!(locked.key_is_functionally_correct(key, 200, 4));
+
+    // Worker telemetry: every complete frame piggybacks a cumulative
+    // snapshot, and the supervisor's farm-wide aggregate is exactly the
+    // field-wise sum of each worker's latest snapshot.
+    assert_eq!(
+        first.stats_reports, first.regions_completed,
+        "every complete carries telemetry"
+    );
+    assert!(
+        first.worker_telemetry.iter().all(Option::is_some),
+        "both workers reported telemetry"
+    );
+    let mut summed = sat::SolverStats::default();
+    for telemetry in first.worker_telemetry.iter().flatten() {
+        summed.absorb(&telemetry.solver);
+    }
+    assert_eq!(
+        first.solver_stats, summed,
+        "supervisor aggregate equals the sum of worker-local stats"
+    );
+    assert!(first.solver_stats.solves > 0, "workers did SAT work");
+    assert!(
+        first
+            .worker_telemetry
+            .iter()
+            .flatten()
+            .map(|telemetry| telemetry.oracle_unique)
+            .sum::<u64>()
+            > 0,
+        "workers reported oracle traffic"
+    );
     // No serial-count bound here: drain-all deliberately searches every
     // region, including those the early-stopping serial reference never
     // reached, so its unique-query count is not comparable to serial's.

@@ -66,7 +66,9 @@ pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
 pub use lbool::LBool;
 pub use lit::{Lit, Var};
 pub use restart::RestartMode;
-pub use solver::{FrameId, SearchStrategy, SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{
+    Checkpoint, FrameId, SearchStrategy, SolveResult, Solver, SolverConfig, SolverStats,
+};
 
 // The parallel attack engine moves whole solvers across worker threads; every
 // field is owned data or an `Arc` of a `Sync` atomic, so `Solver` must stay

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::clause::{ClauseDb, ClauseRef, Tier};
 use crate::heap::VarOrderHeap;
@@ -120,6 +121,76 @@ impl SolverStats {
         self.wasted_bytes += other.wasted_bytes;
         self.gc_runs += other.gc_runs;
         self.recycled_vars += other.recycled_vars;
+    }
+
+    /// The canonical `(name, value)` view of every field, in declaration
+    /// order.
+    ///
+    /// This is the single source of truth for everything that serialises or
+    /// renders the counters — the `fall-dist` worker-telemetry wire encoding,
+    /// the `fall-serve` metric surface, and the drift-guard tests — so a
+    /// field added to the struct without extending this list (the
+    /// `stats_fields_cover_the_struct` test below catches that) cannot
+    /// silently go missing from any of them.
+    pub fn fields(&self) -> [(&'static str, u64); 22] {
+        [
+            ("conflicts", self.conflicts),
+            ("decisions", self.decisions),
+            ("propagations", self.propagations),
+            ("restarts", self.restarts),
+            ("restarts_luby", self.restarts_luby),
+            ("restarts_ema", self.restarts_ema),
+            ("restarts_blocked", self.restarts_blocked),
+            ("reductions", self.reductions),
+            ("learnt_clauses", self.learnt_clauses),
+            ("core_clauses", self.core_clauses),
+            ("tier2_clauses", self.tier2_clauses),
+            ("local_clauses", self.local_clauses),
+            ("vars_eliminated", self.vars_eliminated),
+            ("vars_resurrected", self.vars_resurrected),
+            ("strategy_switches", self.strategy_switches),
+            ("ema_lbd_fast_milli", self.ema_lbd_fast_milli),
+            ("ema_lbd_slow_milli", self.ema_lbd_slow_milli),
+            ("solves", self.solves),
+            ("arena_bytes", self.arena_bytes),
+            ("wasted_bytes", self.wasted_bytes),
+            ("gc_runs", self.gc_runs),
+            ("recycled_vars", self.recycled_vars),
+        ]
+    }
+
+    /// Sets one field by its [`SolverStats::fields`] name; the decoding
+    /// counterpart of `fields` for wire formats.  Returns `false` when the
+    /// name matches no field (the caller decides whether unknown names are
+    /// an error or forward-compatible noise).
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "conflicts" => &mut self.conflicts,
+            "decisions" => &mut self.decisions,
+            "propagations" => &mut self.propagations,
+            "restarts" => &mut self.restarts,
+            "restarts_luby" => &mut self.restarts_luby,
+            "restarts_ema" => &mut self.restarts_ema,
+            "restarts_blocked" => &mut self.restarts_blocked,
+            "reductions" => &mut self.reductions,
+            "learnt_clauses" => &mut self.learnt_clauses,
+            "core_clauses" => &mut self.core_clauses,
+            "tier2_clauses" => &mut self.tier2_clauses,
+            "local_clauses" => &mut self.local_clauses,
+            "vars_eliminated" => &mut self.vars_eliminated,
+            "vars_resurrected" => &mut self.vars_resurrected,
+            "strategy_switches" => &mut self.strategy_switches,
+            "ema_lbd_fast_milli" => &mut self.ema_lbd_fast_milli,
+            "ema_lbd_slow_milli" => &mut self.ema_lbd_slow_milli,
+            "solves" => &mut self.solves,
+            "arena_bytes" => &mut self.arena_bytes,
+            "wasted_bytes" => &mut self.wasted_bytes,
+            "gc_runs" => &mut self.gc_runs,
+            "recycled_vars" => &mut self.recycled_vars,
+            _ => return false,
+        };
+        *slot = value;
+        true
     }
 }
 
@@ -397,6 +468,58 @@ struct Watcher {
 
 /// Identifier of an activation frame created by [`Solver::push_frame`].
 ///
+/// A solver maintenance phase reported through the checkpoint hook
+/// ([`Solver::set_checkpoint_hook`]).
+///
+/// Checkpoints are the places where the solver does bookkeeping work outside
+/// the CDCL search proper — exactly the phases an observability layer wants
+/// to attribute wall-clock to.  The solver itself never reads a clock for its
+/// search decisions, so reporting durations here cannot perturb a search
+/// trajectory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Checkpoint {
+    /// Clause-arena garbage collection ([`Solver::collect_garbage`]).
+    Gc,
+    /// Tiered learnt-database reduction.
+    ReduceDb,
+    /// Level-0 simplification ([`Solver::simplify`]), including watcher
+    /// pruning, variable-release processing and elimination.
+    Simplify,
+    /// Bounded variable elimination (a sub-phase of `Simplify`; its duration
+    /// is included in the enclosing `Simplify` report too).
+    Eliminate,
+    /// A restart fired.  Restarts are instantaneous events, so the reported
+    /// duration is always zero; hooks typically count them.
+    Restart,
+}
+
+impl Checkpoint {
+    /// A stable lowercase label for metric/trace names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Checkpoint::Gc => "gc",
+            Checkpoint::ReduceDb => "reduce_db",
+            Checkpoint::Simplify => "simplify",
+            Checkpoint::Eliminate => "eliminate",
+            Checkpoint::Restart => "restart",
+        }
+    }
+}
+
+/// The installed checkpoint observer (boxed so [`Solver`] keeps its derived
+/// `Debug`/`Default` via this wrapper's manual impls).
+#[derive(Default)]
+struct HookSlot(Option<Box<dyn FnMut(Checkpoint, Duration) + Send>>);
+
+impl std::fmt::Debug for HookSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self.0 {
+            Some(_) => "HookSlot(installed)",
+            None => "HookSlot(empty)",
+        })
+    }
+}
+
 /// A frame groups clauses that are only active while the frame's activation
 /// literal is assumed (see [`Solver::solve_in`]).  Retiring a frame
 /// ([`Solver::retire_frame`]) permanently disables its clauses *without*
@@ -494,6 +617,9 @@ pub struct Solver {
     /// eliminated variable, the original clauses it was resolved out of, in
     /// elimination order (model extension walks it in reverse).
     elim_stack: Vec<eliminate::ElimRecord>,
+    /// Maintenance-phase observer ([`Solver::set_checkpoint_hook`]).  The
+    /// clock is only read while a hook is installed.
+    checkpoint_hook: HookSlot,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -558,6 +684,40 @@ impl Solver {
     /// promptly, regardless of budgets.
     pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
         self.interrupt = flag;
+    }
+
+    /// Installs (or clears) a maintenance-phase observer.
+    ///
+    /// The hook is called once per completed [`Checkpoint`] with the phase's
+    /// wall-clock duration (zero for instantaneous events like restarts).
+    /// The solver never consults a clock for search decisions — timing is
+    /// only measured while a hook is installed, and the hook sees phases
+    /// *after* they ran — so installing one cannot change a solve trajectory.
+    pub fn set_checkpoint_hook(
+        &mut self,
+        hook: Option<Box<dyn FnMut(Checkpoint, Duration) + Send>>,
+    ) {
+        self.checkpoint_hook = HookSlot(hook);
+    }
+
+    /// The phase start time, read only when someone is listening.
+    fn checkpoint_start(&self) -> Option<Instant> {
+        self.checkpoint_hook.0.is_some().then(Instant::now)
+    }
+
+    /// Reports a finished phase to the hook (no-op when `start` is `None`,
+    /// i.e. no hook was installed when the phase began).
+    fn fire_checkpoint(&mut self, which: Checkpoint, start: Option<Instant>) {
+        if let (Some(start), Some(hook)) = (start, self.checkpoint_hook.0.as_mut()) {
+            hook(which, start.elapsed());
+        }
+    }
+
+    /// Reports an instantaneous event (zero duration) to the hook.
+    fn fire_checkpoint_event(&mut self, which: Checkpoint) {
+        if let Some(hook) = self.checkpoint_hook.0.as_mut() {
+            hook(which, Duration::ZERO);
+        }
     }
 
     fn interrupted(&self) -> bool {
@@ -1025,8 +1185,10 @@ impl Solver {
         if !self.ok {
             return;
         }
+        let started = self.checkpoint_start();
         if self.propagate().is_some() {
             self.ok = false;
+            self.fire_checkpoint(Checkpoint::Simplify, started);
             return;
         }
         let satisfied_at_root =
@@ -1045,9 +1207,12 @@ impl Solver {
         }
         self.prune_watchers();
         self.process_releases();
+        let elim_started = self.checkpoint_start();
         self.eliminate_vars();
+        self.fire_checkpoint(Checkpoint::Eliminate, elim_started);
         self.db.compact_live();
         self.maybe_gc();
+        self.fire_checkpoint(Checkpoint::Simplify, started);
     }
 
     /// Tombstones a clause, dropping any level-0 reason reference to it and
@@ -1184,6 +1349,7 @@ impl Solver {
     /// [`SolverConfig::gc_wasted_ratio`]); public for callers that want to
     /// release memory at a deterministic point.
     pub fn collect_garbage(&mut self) {
+        let started = self.checkpoint_start();
         let map = self.db.collect_garbage();
         for watchers in &mut self.watches {
             watchers.retain_mut(|w| match map.remap(w.cref) {
@@ -1204,6 +1370,7 @@ impl Solver {
             }
         }
         self.stats.gc_runs += 1;
+        self.fire_checkpoint(Checkpoint::Gc, started);
     }
 
     /// Decides satisfiability of the clauses added so far.
@@ -1704,6 +1871,7 @@ impl Solver {
     /// candidate buffer is reused across rounds — reduction allocates
     /// nothing in steady state.
     fn reduce_db(&mut self) {
+        let started = self.checkpoint_start();
         self.stats.reductions += 1;
         let mut scratch = std::mem::take(&mut self.reduce_scratch);
         scratch.clear();
@@ -1749,6 +1917,7 @@ impl Solver {
         self.reduce_scratch = scratch;
         self.max_learnts *= 1.1;
         self.maybe_gc();
+        self.fire_checkpoint(Checkpoint::ReduceDb, started);
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -1855,6 +2024,7 @@ impl Solver {
                         self.stats.restarts_luby += 1;
                         self.restart.on_restart(self.config.restart_base);
                         self.cancel_until(0);
+                        self.fire_checkpoint_event(Checkpoint::Restart);
                         return None;
                     }
                     RestartDecision::RestartEma => {
@@ -1862,6 +2032,7 @@ impl Solver {
                         self.stats.restarts_ema += 1;
                         self.restart.on_restart(self.config.restart_base);
                         self.cancel_until(0);
+                        self.fire_checkpoint_event(Checkpoint::Restart);
                         return None;
                     }
                 }
@@ -1917,6 +2088,60 @@ impl Solver {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `SolverStats::fields` must enumerate every struct field: the derived
+    /// `Debug` output names each field exactly once, so its names are the
+    /// ground truth the canonical accessor is checked against.
+    #[test]
+    fn stats_fields_cover_the_struct() {
+        let mut stats = SolverStats::default();
+        for (i, (name, _)) in SolverStats::default().fields().iter().enumerate() {
+            assert!(stats.set_field(name, (i + 1) as u64), "set_field({name})");
+        }
+        let debug = format!("{stats:?}");
+        let debug_fields: Vec<&str> = debug
+            .trim_start_matches("SolverStats {")
+            .trim_end_matches('}')
+            .split(',')
+            .filter_map(|part| part.split(':').next())
+            .map(str::trim)
+            .filter(|name| !name.is_empty())
+            .collect();
+        let listed: Vec<&str> = stats.fields().iter().map(|&(name, _)| name).collect();
+        assert_eq!(
+            listed, debug_fields,
+            "SolverStats::fields is out of step with the struct definition"
+        );
+        // Round trip: set_field above wrote i + 1 into field i.
+        for (i, (name, value)) in stats.fields().iter().enumerate() {
+            assert_eq!(*value, (i + 1) as u64, "{name}");
+        }
+        assert!(!stats.set_field("no_such_field", 1));
+    }
+
+    /// The checkpoint hook observes GC and reduction phases without changing
+    /// solver behaviour.
+    #[test]
+    fn checkpoint_hook_reports_gc() {
+        use std::sync::atomic::AtomicU64;
+        let gc_seen = Arc::new(AtomicU64::new(0));
+        let mut s = Solver::new();
+        let seen = Arc::clone(&gc_seen);
+        s.set_checkpoint_hook(Some(Box::new(move |which, duration| {
+            assert!(duration >= Duration::ZERO);
+            if which == Checkpoint::Gc {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+        })));
+        s.ensure_vars(2);
+        s.add_clause(lits(&[1, 2]));
+        s.collect_garbage();
+        assert_eq!(s.stats().gc_runs, 1);
+        assert_eq!(gc_seen.load(Ordering::Relaxed), 1);
+        s.set_checkpoint_hook(None);
+        s.collect_garbage();
+        assert_eq!(gc_seen.load(Ordering::Relaxed), 1, "hook cleared");
+    }
 
     fn lits(spec: &[i32]) -> Vec<Lit> {
         spec.iter()

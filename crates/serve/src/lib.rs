@@ -330,7 +330,16 @@ fn handle_request(
         "hello" => send(protocol::hello_frame(id, &service.targets())),
         "register" => send(handle_register(&request, id, service)),
         "attack" => send(handle_attack(&request, id, service, client, reply_tx)),
-        "metrics" => send(protocol::metrics_frame(id, &service.metrics())),
+        "metrics" => match request.get("format").and_then(Value::as_str) {
+            None | Some("json") => send(protocol::metrics_frame(id, &service.metrics())),
+            Some("prometheus") => send(protocol::prometheus_frame(id, &service.metrics())),
+            Some(other) => send(protocol::error_frame(
+                id,
+                ErrorCode::BadRequest,
+                &format!("unknown metrics format {other:?}"),
+            )),
+        },
+        "trace" => send(handle_trace(&request, id)),
         "shutdown" => {
             if !state.allow_remote_shutdown {
                 send(protocol::error_frame(
@@ -351,6 +360,50 @@ fn handle_request(
         )),
     }
     Flow::Continue
+}
+
+/// The `trace` op: drive the in-process flight recorder.
+///
+/// `action` is one of `start` (reset the recorder and enable span
+/// collection), `stop` (disable collection, keeping what was recorded),
+/// `dump` (return the recorded events as an embedded Chrome trace-event
+/// document) or `status` (the default: just report the recorder state).
+fn handle_trace(request: &Value, id: RequestId) -> String {
+    let action = request
+        .get("action")
+        .and_then(Value::as_str)
+        .unwrap_or("status");
+    match action {
+        "start" => {
+            fall::trace::reset();
+            fall::trace::set_enabled(true);
+        }
+        "stop" => fall::trace::set_enabled(false),
+        "dump" | "status" => {}
+        other => {
+            return protocol::error_frame(
+                id,
+                ErrorCode::BadRequest,
+                &format!("unknown trace action {other:?}"),
+            );
+        }
+    }
+    let events = fall::trace::events().len();
+    let dump = if action == "dump" {
+        match Value::parse(&fall::trace::chrome_trace_json()) {
+            Ok(document) => Some(document),
+            Err(reason) => {
+                return protocol::error_frame(
+                    id,
+                    ErrorCode::BadRequest,
+                    &format!("trace dump failed: {reason}"),
+                );
+            }
+        }
+    } else {
+        None
+    };
+    protocol::trace_frame(id, fall::trace::enabled(), events, dump)
 }
 
 fn handle_register(request: &Value, id: RequestId, service: &Arc<AttackService>) -> String {

@@ -246,6 +246,31 @@ pub fn metrics_frame(id: RequestId, samples: &[MetricSample]) -> String {
     frame(fields)
 }
 
+/// The `metrics` response in Prometheus text exposition: the rendered text
+/// travels as one JSON string member, so the framing stays line-delimited.
+pub fn prometheus_frame(id: RequestId, samples: &[MetricSample]) -> String {
+    let mut fields = base(true, id);
+    fields.push(("format".to_string(), Value::from("prometheus")));
+    fields.push((
+        "metrics_text".to_string(),
+        Value::from(fall::trace::prometheus_text(samples)),
+    ));
+    frame(fields)
+}
+
+/// The `trace` response: the flight recorder's state plus, for the `dump`
+/// action, the recorded events as an embedded Chrome trace-event document
+/// (`trace` member — extract it and save to a file to load in Perfetto).
+pub fn trace_frame(id: RequestId, enabled: bool, events: usize, dump: Option<Value>) -> String {
+    let mut fields = base(true, id);
+    fields.push(("enabled".to_string(), Value::from(enabled)));
+    fields.push(("events".to_string(), Value::from(events)));
+    if let Some(dump) = dump {
+        fields.push(("trace".to_string(), dump));
+    }
+    frame(fields)
+}
+
 /// A bare `{"ok":true}` acknowledgement (e.g. for `shutdown`).
 pub fn ok_frame(id: RequestId) -> String {
     frame(base(true, id))

@@ -246,6 +246,97 @@ fn serves_all_three_job_kinds_over_the_wire() {
 }
 
 #[test]
+fn trace_op_records_jobs_and_metrics_render_as_prometheus() {
+    let server = test_server();
+    let mut client = Client::connect(&server);
+
+    let original = circuit("serve_trace", 14, 120);
+    let locked = XorLock::new(8)
+        .with_seed(7)
+        .lock(&original)
+        .expect("lock")
+        .optimized();
+    client.register("t", "xor-lock", 0, &locked.locked, &original);
+
+    // Arm the flight recorder, run one job, then dump the trace.
+    client.send("{\"op\":\"trace\",\"action\":\"start\",\"id\":1}");
+    let response = client.recv();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(response.get("enabled").and_then(Value::as_bool), Some(true));
+
+    let job = client.submit(Value::object([
+        ("op", Value::from("attack")),
+        ("target", Value::from("t")),
+        ("kind", Value::from("sat")),
+    ]));
+    let event = client.recv_job_event(job);
+    assert_eq!(
+        event.get("status").and_then(Value::as_str),
+        Some("key_found"),
+        "{event}"
+    );
+
+    client.send("{\"op\":\"trace\",\"action\":\"dump\",\"id\":2}");
+    let response = client.recv();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    assert!(
+        response.get("events").and_then(Value::as_u64).unwrap_or(0) > 0,
+        "the job left trace events: {response}"
+    );
+    let dump = response.get("trace").expect("dump embeds the trace");
+    let events = dump
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("Chrome trace document");
+    assert!(
+        events
+            .iter()
+            .any(|e| { e.get("name").and_then(Value::as_str) == Some("serve_job") }),
+        "job span recorded"
+    );
+
+    client.send("{\"op\":\"trace\",\"action\":\"stop\",\"id\":3}");
+    let response = client.recv();
+    assert_eq!(
+        response.get("enabled").and_then(Value::as_bool),
+        Some(false)
+    );
+
+    // Prometheus-format metrics: rendered text travels as a string member.
+    client.send("{\"op\":\"metrics\",\"format\":\"prometheus\",\"id\":4}");
+    let response = client.recv();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    let text = response
+        .get("metrics_text")
+        .and_then(Value::as_str)
+        .expect("prometheus text");
+    assert!(text.contains("# TYPE serve_jobs_completed gauge"), "{text}");
+    assert!(text.contains("serve_jobs_sat 1"), "{text}");
+    // (Other tests in this process may record spans concurrently, so only
+    // presence — not an exact count — is asserted.)
+    assert!(
+        text.contains("trace_serve_job_spans"),
+        "trace histograms feed the metrics surface: {text}"
+    );
+
+    // An unknown format is a typed bad request.
+    client.send("{\"op\":\"metrics\",\"format\":\"xml\"}");
+    let response = client.recv();
+    assert_eq!(
+        response.get("error").and_then(Value::as_str),
+        Some("bad_request")
+    );
+
+    // An unknown trace action is a typed bad request too.
+    client.send("{\"op\":\"trace\",\"action\":\"flush\"}");
+    let response = client.recv();
+    assert_eq!(
+        response.get("error").and_then(Value::as_str),
+        Some("bad_request")
+    );
+}
+
+#[test]
 fn malformed_requests_get_typed_errors_and_the_connection_survives() {
     let server = test_server();
     let mut client = Client::connect(&server);
